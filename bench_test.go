@@ -1,0 +1,546 @@
+// Package suit's benchmark harness regenerates every table and figure of
+// the paper as a Go benchmark, one per experiment (see DESIGN.md for the
+// experiment index). Each benchmark reports its headline quantity as a
+// custom metric so `go test -bench . -benchmem` doubles as a compact
+// reproduction run:
+//
+//	go test -bench=Table6 -benchtime=1x
+//	go test -bench=Ablation -benchtime=1x
+//
+// Absolute paper numbers are not expected to match (the substrate is a
+// simulator, see DESIGN.md); the reported metrics track the paper's
+// shapes and are recorded against the paper in EXPERIMENTS.md.
+package suit_test
+
+import (
+	"math"
+	"testing"
+
+	"suit/internal/baselines"
+	"suit/internal/core"
+	"suit/internal/cpu"
+	"suit/internal/dvfs"
+	"suit/internal/emul"
+	"suit/internal/guardband"
+	"suit/internal/isa"
+	"suit/internal/sched"
+	"suit/internal/security"
+	"suit/internal/strategy"
+	"suit/internal/trace"
+	"suit/internal/uarch"
+	"suit/internal/units"
+	"suit/internal/workload"
+)
+
+const (
+	benchInstr    = 300_000_000
+	benchInstrNet = 100_000_000
+)
+
+func mustRun(b *testing.B, s core.Scenario) core.Outcome {
+	b.Helper()
+	o, err := core.Run(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return o
+}
+
+func mustBench(b *testing.B, name string) workload.Benchmark {
+	b.Helper()
+	w, ok := workload.ByName(name)
+	if !ok {
+		b.Fatalf("workload %s missing", name)
+	}
+	return w
+}
+
+// BenchmarkTable1 derives the per-instruction fault margins from the
+// Kogler fault counts — the data behind Table 1.
+func BenchmarkTable1(b *testing.B) {
+	gb := guardband.Default()
+	var sink units.Volt
+	for i := 0; i < b.N; i++ {
+		for _, info := range isa.Table1() {
+			sink += gb.PhysicalMargin(info.Op, true)
+		}
+	}
+	_ = sink
+	b.ReportMetric(float64(len(isa.Table1())), "instructions")
+}
+
+// BenchmarkTable2 computes the undervolting response of all four CPUs at
+// both design points (Table 2 / Fig 12).
+func BenchmarkTable2(b *testing.B) {
+	chips := []dvfs.Chip{
+		dvfs.IntelI5_1035G1(), dvfs.IntelI9_9900K(),
+		dvfs.AMDRyzen7700X(), dvfs.XeonSilver4208(),
+	}
+	var last core.UndervoltPoint
+	for i := 0; i < b.N; i++ {
+		for _, c := range chips {
+			last = core.UndervoltResponse(c, units.MilliVolts(-97))
+		}
+	}
+	b.ReportMetric(last.Eff*100, "xeon-eff-%")
+}
+
+// BenchmarkFigure12 sweeps the i9-9900K over voltage offsets.
+func BenchmarkFigure12(b *testing.B) {
+	chip := dvfs.IntelI9_9900K()
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		for _, mv := range []float64{0, -40, -70, -97} {
+			eff = core.UndervoltResponse(chip, units.MilliVolts(mv)).Eff
+		}
+	}
+	b.ReportMetric(eff*100, "eff-at-97mV-%")
+}
+
+// BenchmarkFigure5 runs VLC under fV with timeline recording — the curve
+// switching around AES bursts.
+func BenchmarkFigure5(b *testing.B) {
+	var o core.Outcome
+	for i := 0; i < b.N; i++ {
+		o = mustRun(b, core.Scenario{
+			Chip: dvfs.XeonSilver4208(), Bench: workload.VLC(), Kind: core.KindFV,
+			SpendAging: true, Instructions: benchInstrNet, Seed: uint64(i + 1),
+			RecordTimeline: true,
+		})
+	}
+	b.ReportMetric(float64(len(o.Run.Timeline)), "switches")
+}
+
+// BenchmarkFigure6 drives a single long burst through the fV sequence
+// E → Cf → Cv → E.
+func BenchmarkFigure6(b *testing.B) {
+	wl := workload.Benchmark{
+		Name: "longburst", Suite: workload.Network, IPC: 2,
+		BurstEvery: 80e6, BurstLen: 40_000, BurstIntraGap: 50, BurstSigma: 0.1,
+		NoSIMD: map[workload.CPUFamily]float64{workload.Intel: 0, workload.AMD: 0},
+	}
+	var o core.Outcome
+	for i := 0; i < b.N; i++ {
+		o = mustRun(b, core.Scenario{
+			Chip: dvfs.XeonSilver4208(), Bench: wl, Kind: core.KindFV,
+			SpendAging: true, Instructions: 100_000_000, Seed: uint64(i + 1),
+		})
+	}
+	b.ReportMetric(float64(o.Run.DeadlineFires), "deadline-fires")
+}
+
+// BenchmarkFigure7 generates the VLC AES trace and its gap statistics.
+func BenchmarkFigure7(b *testing.B) {
+	var events int
+	for i := 0; i < b.N; i++ {
+		tr, err := workload.VLC().GenerateTrace(benchInstrNet, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = tr.GapHistogram()
+		events = len(tr.Events)
+	}
+	b.ReportMetric(float64(events), "aes-events")
+}
+
+// probe benches: the §5.2 transition measurements (Figs 8-11).
+func benchProbe(b *testing.B, chip dvfs.Chip, from, to dvfs.PState, interval units.Second) {
+	norm := func() float64 { return 0 }
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(dvfs.ProbeTransition(chip.Transition, from, to, norm, interval))
+	}
+	b.ReportMetric(float64(n), "samples")
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	chip := dvfs.IntelI9_9900K()
+	s, _ := chip.Vendor.StateAt(47)
+	from := dvfs.PState{Ratio: s.Ratio, F: s.F, V: s.V + units.MilliVolts(-97)}
+	benchProbe(b, chip, from, s, units.Microseconds(5))
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	chip := dvfs.IntelI9_9900K()
+	hi, _ := chip.Vendor.StateAt(47)
+	lo, _ := chip.Vendor.StateAt(40)
+	benchProbe(b, chip, dvfs.PState{Ratio: hi.Ratio, F: hi.F, V: hi.V},
+		dvfs.PState{Ratio: lo.Ratio, F: lo.F, V: hi.V}, units.Microseconds(1))
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	chip := dvfs.AMDRyzen7700X()
+	hi, _ := chip.Vendor.StateAt(45)
+	lo, _ := chip.Vendor.StateAt(25)
+	benchProbe(b, chip, dvfs.PState{Ratio: hi.Ratio, F: hi.F, V: hi.V},
+		dvfs.PState{Ratio: lo.Ratio, F: lo.F, V: hi.V}, units.Microseconds(10))
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	chip := dvfs.XeonSilver4208()
+	lo, _ := chip.Vendor.StateAt(21)
+	hi, _ := chip.Vendor.StateAt(30)
+	benchProbe(b, chip, lo, hi, units.Microseconds(5))
+}
+
+// BenchmarkExceptionDelay exercises the §5.3 trap path: a stream whose
+// every faultable event traps and is emulated; the reported metric is the
+// simulated per-trap cost (#DO entry + emulation call + work), which must
+// sit just above the configured 0.77 µs call delay.
+func BenchmarkExceptionDelay(b *testing.B) {
+	const traps = 2000
+	tr := &trace.Trace{Name: "traps", Total: 100_000_000, IPC: 2}
+	for i := uint64(0); i < traps; i++ {
+		tr.Events = append(tr.Events, trace.Event{Index: (i + 1) * 40_000, Op: isa.OpAESENC})
+	}
+	empty := &trace.Trace{Name: "empty", Total: tr.Total, IPC: tr.IPC}
+	var perTrap float64
+	for i := 0; i < b.N; i++ {
+		withTraps := ablationMachine(b, tr, nil, strategy.Emulation{})
+		baseline := ablationMachine(b, empty, nil, strategy.Emulation{})
+		perTrap = float64(withTraps.Duration-baseline.Duration) / traps * 1e6
+	}
+	b.ReportMetric(perTrap, "us-per-trap")
+}
+
+// BenchmarkFigure13 derives the modified-IMUL curve from the vendor curve.
+func BenchmarkFigure13(b *testing.B) {
+	vendor := dvfs.IntelI9_9900K().Vendor
+	var v units.Volt
+	for i := 0; i < b.N; i++ {
+		mod := guardband.HardenedIMULCurve(vendor)
+		v = mod.Top().V
+	}
+	b.ReportMetric((vendor.Top().V - v).MilliVolts(), "top-gap-mV")
+}
+
+// BenchmarkAgingGuardband computes the §5.6 guardband.
+func BenchmarkAgingGuardband(b *testing.B) {
+	curve := dvfs.IntelI9_9900K().Vendor
+	var v units.Volt
+	for i := 0; i < b.N; i++ {
+		v = guardband.AgingGuardbandFor(curve)
+	}
+	b.ReportMetric(v.MilliVolts(), "guardband-mV")
+}
+
+// BenchmarkTable3 evaluates the temperature guardband model.
+func BenchmarkTable3(b *testing.B) {
+	var v units.Volt
+	for i := 0; i < b.N; i++ {
+		v = guardband.TempGuardbandFor(50, 88)
+	}
+	b.ReportMetric(-v.MilliVolts(), "temp-guardband-mV")
+}
+
+// BenchmarkTable4 aggregates the noSIMD impact table.
+func BenchmarkTable4(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		mean = workload.SuiteMeanNoSIMD(workload.SPECfp, workload.Intel)
+	}
+	b.ReportMetric(mean*100, "fprate-noSIMD-%")
+}
+
+// BenchmarkFigure14 runs the out-of-order IMUL-latency study for the
+// worst-case benchmark (525.x264, latency 4).
+func BenchmarkFigure14(b *testing.B) {
+	mix := mustBench(b, "525.x264").Mix()
+	cfg := uarch.DefaultConfig()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = uarch.Slowdown(cfg, mix, 200_000, uint64(i+1), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(s*100, "x264-slowdown-%")
+}
+
+// BenchmarkTable6 runs the flagship cell: 𝒞∞ fV at −97 mV on 557.xz.
+func BenchmarkTable6(b *testing.B) {
+	var o core.Outcome
+	for i := 0; i < b.N; i++ {
+		o = mustRun(b, core.Scenario{
+			Chip: dvfs.XeonSilver4208(), Bench: mustBench(b, "557.xz"),
+			Kind: core.KindFV, SpendAging: true, Instructions: benchInstr,
+			Seed: uint64(i + 1),
+		})
+	}
+	b.ReportMetric(o.Efficiency*100, "eff-gain-%")
+	b.ReportMetric(o.EfficientShare*100, "E-share-%")
+}
+
+// BenchmarkTable6Emulation runs the emulation contrast cell (nginx on 𝒜).
+func BenchmarkTable6Emulation(b *testing.B) {
+	var o core.Outcome
+	for i := 0; i < b.N; i++ {
+		o = mustRun(b, core.Scenario{
+			Chip: dvfs.IntelI9_9900K(), Bench: workload.Nginx(),
+			Kind: core.KindEmul, SpendAging: true, Instructions: benchInstrNet,
+			Seed: uint64(i + 1),
+		})
+	}
+	b.ReportMetric(o.Change.Perf*100, "perf-%")
+}
+
+// BenchmarkTable7 evaluates one parameter setting of the sweep.
+func BenchmarkTable7(b *testing.B) {
+	p := strategy.ParamsAC()
+	var o core.Outcome
+	for i := 0; i < b.N; i++ {
+		pp := p
+		o = mustRun(b, core.Scenario{
+			Chip: dvfs.XeonSilver4208(), Bench: mustBench(b, "502.gcc"),
+			Kind: core.KindFV, SpendAging: true, Instructions: benchInstr,
+			Params: &pp, Seed: uint64(i + 1),
+		})
+	}
+	b.ReportMetric(o.Efficiency*100, "eff-gain-%")
+}
+
+// BenchmarkTable8 compares noSIMD vs SUIT for one benchmark (508.namd,
+// the worst case for recompilation).
+func BenchmarkTable8(b *testing.B) {
+	var suitPerf, nsPerf float64
+	for i := 0; i < b.N; i++ {
+		s := mustRun(b, core.Scenario{
+			Chip: dvfs.XeonSilver4208(), Bench: mustBench(b, "508.namd"),
+			Kind: core.KindFV, SpendAging: true, Instructions: benchInstr, Seed: uint64(i + 1)})
+		n := mustRun(b, core.Scenario{
+			Chip: dvfs.XeonSilver4208(), Bench: mustBench(b, "508.namd"),
+			Kind: core.KindNoSIMD, SpendAging: true, Instructions: benchInstr, Seed: uint64(i + 1)})
+		suitPerf, nsPerf = s.Change.Perf, n.Change.Perf
+	}
+	b.ReportMetric((suitPerf-nsPerf)*100, "suit-advantage-%")
+}
+
+// BenchmarkFigure16 runs one per-benchmark cell of Fig 16.
+func BenchmarkFigure16(b *testing.B) {
+	var o core.Outcome
+	for i := 0; i < b.N; i++ {
+		o = mustRun(b, core.Scenario{
+			Chip: dvfs.XeonSilver4208(), Bench: mustBench(b, "523.xalancbmk"),
+			Kind: core.KindFV, SpendAging: true, Instructions: benchInstr,
+			Seed: uint64(i + 1),
+		})
+	}
+	b.ReportMetric(o.Efficiency*100, "eff-gain-%")
+}
+
+// BenchmarkSecurity runs the three-way fault-attack comparison (§6.9).
+func BenchmarkSecurity(b *testing.B) {
+	var rep security.AttackReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = security.RunAttack(dvfs.IntelI9_9900K(), units.MilliVolts(-97), uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.Unsafe.Faults), "unsafe-faults")
+	b.ReportMetric(float64(rep.SUIT.Faults), "suit-faults")
+}
+
+// --- Ablation benches (DESIGN.md "design choices worth ablating") ---
+
+// ablationMachine builds a raw machine for ablation experiments.
+func ablationMachine(b *testing.B, tr *trace.Trace, mod func(*cpu.Config), strat cpu.Strategy) cpu.Result {
+	b.Helper()
+	gb := guardband.Default()
+	chip := dvfs.XeonSilver4208()
+	cfg := cpu.Config{
+		Chip:           chip,
+		Traces:         []*trace.Trace{tr},
+		Offset:         gb.EfficientOffset(isa.FaultableMask, true, true),
+		Faults:         gb,
+		HardenedIMUL:   true,
+		ExceptionDelay: chip.ExceptionDelay,
+		Emul:           emul.NewCostModel(chip.EmulCallDelay),
+		Seed:           1,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	m, err := cpu.New(cfg, strat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkAblationDeadline contrasts the resetting deadline (§4.1)
+// against a fixed-duration switchback: with bursts slightly longer than
+// the deadline, the non-resetting timer switches back mid-burst and traps
+// again immediately.
+func BenchmarkAblationDeadline(b *testing.B) {
+	wl := workload.VLC()
+	var with, without cpu.Result
+	for i := 0; i < b.N; i++ {
+		tr, err := wl.GenerateTrace(benchInstrNet, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		strat := strategy.FV{P: strategy.ParamsAC()}
+		with = ablationMachine(b, tr, nil, strat)
+		without = ablationMachine(b, tr, func(c *cpu.Config) { c.NoDeadlineReset = true }, strat)
+	}
+	b.ReportMetric(float64(with.Exceptions), "exceptions-resetting")
+	b.ReportMetric(float64(without.Exceptions), "exceptions-fixed")
+}
+
+// BenchmarkAblationThrashing contrasts thrashing prevention on/off for
+// the borderline workload 527.cam4 (gaps straddle the deadline).
+func BenchmarkAblationThrashing(b *testing.B) {
+	wl := mustBench(b, "527.cam4")
+	var on, off core.Outcome
+	for i := 0; i < b.N; i++ {
+		pOn := strategy.ParamsAC()
+		pOff := pOn
+		pOff.DeadlineFactor = 1 // multiplying by 1 disables the extension
+		on = mustRun(b, core.Scenario{Chip: dvfs.XeonSilver4208(), Bench: wl,
+			Kind: core.KindFV, SpendAging: true, Instructions: benchInstr,
+			Params: &pOn, Seed: uint64(i + 1)})
+		off = mustRun(b, core.Scenario{Chip: dvfs.XeonSilver4208(), Bench: wl,
+			Kind: core.KindFV, SpendAging: true, Instructions: benchInstr,
+			Params: &pOff, Seed: uint64(i + 1)})
+	}
+	b.ReportMetric(on.Change.Perf*100, "perf-with-%")
+	b.ReportMetric(off.Change.Perf*100, "perf-without-%")
+}
+
+// BenchmarkAblationStrategy contrasts fV against the single-knob
+// strategies on a mid-density workload (§4.3's comparison).
+func BenchmarkAblationStrategy(b *testing.B) {
+	wl := mustBench(b, "502.gcc")
+	var fv, f, v core.Outcome
+	for i := 0; i < b.N; i++ {
+		run := func(k core.StrategyKind) core.Outcome {
+			return mustRun(b, core.Scenario{Chip: dvfs.XeonSilver4208(), Bench: wl,
+				Kind: k, SpendAging: true, Instructions: benchInstr, Seed: uint64(i + 1)})
+		}
+		fv, f, v = run(core.KindFV), run(core.KindFreq), run(core.KindVolt)
+	}
+	b.ReportMetric(fv.Efficiency*100, "fV-eff-%")
+	b.ReportMetric(f.Efficiency*100, "f-eff-%")
+	b.ReportMetric(v.Efficiency*100, "V-eff-%")
+}
+
+// BenchmarkAblationDomains contrasts single-domain (𝒜) against per-core
+// (𝒞) switching with four co-running copies.
+func BenchmarkAblationDomains(b *testing.B) {
+	wl := mustBench(b, "502.gcc")
+	var single, perCore core.Outcome
+	for i := 0; i < b.N; i++ {
+		single = mustRun(b, core.Scenario{Chip: dvfs.IntelI9_9900K(), Bench: wl,
+			Kind: core.KindFV, Cores: 4, SpendAging: true, Instructions: benchInstr, Seed: uint64(i + 1)})
+		perCore = mustRun(b, core.Scenario{Chip: dvfs.XeonSilver4208(), Bench: wl,
+			Kind: core.KindFV, Cores: 4, SpendAging: true, Instructions: benchInstr, Seed: uint64(i + 1)})
+	}
+	b.ReportMetric(single.Change.Perf*100, "single-domain-perf-%")
+	b.ReportMetric(perCore.Change.Perf*100, "per-core-perf-%")
+}
+
+// BenchmarkAblationIMUL contrasts the hardened IMUL (§4.2) against
+// trapping IMUL like the rest of the faultable set: with an IMUL every
+// ~560 instructions, trapping pins the CPU to the conservative curve.
+func BenchmarkAblationIMUL(b *testing.B) {
+	// A workload dominated by IMUL (x264-like hot loops).
+	spec := trace.Spec{
+		Name: "imul-hot", Total: 50_000_000, IPC: 2,
+		Sources: []trace.Source{trace.Periodic{Op: isa.OpIMUL, Interval: 560}},
+	}
+	var hardened, trapping cpu.Result
+	for i := 0; i < b.N; i++ {
+		spec.Seed = uint64(i + 1)
+		tr, err := trace.Generate(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		strat := strategy.FV{P: strategy.ParamsAC()}
+		hardened = ablationMachine(b, tr, nil, strat)
+		trapping = ablationMachine(b, tr, func(c *cpu.Config) {
+			c.TrapIMUL = true
+			c.HardenedIMUL = false
+		}, strat)
+	}
+	b.ReportMetric(hardened.EfficientShare()*100, "hardened-E-share-%")
+	b.ReportMetric(trapping.EfficientShare()*100, "trapping-E-share-%")
+	if math.IsNaN(float64(hardened.Duration)) {
+		b.Fatal("NaN duration")
+	}
+}
+
+// BenchmarkBaselines runs the §7 related-work comparison (Razor,
+// ECC-guided, workload-aware undervolting vs SUIT).
+func BenchmarkBaselines(b *testing.B) {
+	gb := guardband.Default()
+	wl := mustBench(b, "557.xz")
+	tr, err := wl.GenerateTrace(10_000_000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rows []baselines.Approach
+	for i := 0; i < b.N; i++ {
+		rows, err = baselines.Compare(dvfs.IntelI9_9900K(), gb, tr, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Name == "SUIT (fV)" {
+			b.ReportMetric(r.Eff*100, "suit-eff-%")
+		}
+	}
+}
+
+// BenchmarkScheduling runs the §7 SUIT-aware placement comparison.
+func BenchmarkScheduling(b *testing.B) {
+	var tasks []workload.Benchmark
+	for _, n := range []string{"557.xz", "505.mcf", "520.omnetpp", "521.wrf"} {
+		tasks = append(tasks, mustBench(b, n))
+	}
+	cfg := sched.Config{
+		Chip: dvfs.IntelI9_9900K(), Clusters: 2, CoresPerCluster: 2,
+		Tasks: tasks, Instructions: 100_000_000, SpendAging: true, Seed: 1,
+	}
+	var spread, packed sched.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		cfg.Seed = uint64(i + 1)
+		spread, packed, err = sched.Compare(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(spread.Eff*100, "spread-eff-%")
+	b.ReportMetric(packed.Eff*100, "packed-eff-%")
+}
+
+// BenchmarkAblationAdaptiveDeadline compares the self-tuning deadline
+// against the fixed Table 7 parameters on a sparse and a borderline
+// workload.
+func BenchmarkAblationAdaptiveDeadline(b *testing.B) {
+	var fixedXZ, adaptXZ, fixedCam, adaptCam core.Outcome
+	for i := 0; i < b.N; i++ {
+		runOne := func(name string, kind core.StrategyKind) core.Outcome {
+			return mustRun(b, core.Scenario{
+				Chip: dvfs.XeonSilver4208(), Bench: mustBench(b, name), Kind: kind,
+				SpendAging: true, Instructions: benchInstr, Seed: uint64(i + 1),
+			})
+		}
+		fixedXZ = runOne("557.xz", core.KindFV)
+		adaptXZ = runOne("557.xz", core.KindAdaptive)
+		fixedCam = runOne("527.cam4", core.KindFV)
+		adaptCam = runOne("527.cam4", core.KindAdaptive)
+	}
+	b.ReportMetric(fixedXZ.Efficiency*100, "xz-fixed-eff-%")
+	b.ReportMetric(adaptXZ.Efficiency*100, "xz-adaptive-eff-%")
+	b.ReportMetric(fixedCam.Efficiency*100, "cam4-fixed-eff-%")
+	b.ReportMetric(adaptCam.Efficiency*100, "cam4-adaptive-eff-%")
+}

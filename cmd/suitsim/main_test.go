@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestChipByName(t *testing.T) {
+	cases := map[string]string{
+		"A":     "Intel Core i9-9900K",
+		"a":     "Intel Core i9-9900K",
+		"i9":    "Intel Core i9-9900K",
+		"B":     "AMD Ryzen 7 7700X",
+		"ryzen": "AMD Ryzen 7 7700X",
+		"C":     "Intel Xeon Silver 4208",
+		"xeon":  "Intel Xeon Silver 4208",
+		"4208":  "Intel Xeon Silver 4208",
+		"i5":    "Intel Core i5-1035G1",
+	}
+	for in, want := range cases {
+		chip, ok := chipByName(in)
+		if !ok {
+			t.Errorf("chipByName(%q) not found", in)
+			continue
+		}
+		if chip.Name != want {
+			t.Errorf("chipByName(%q) = %q, want %q", in, chip.Name, want)
+		}
+	}
+	if _, ok := chipByName("pentium"); ok {
+		t.Error("unknown chip resolved")
+	}
+}

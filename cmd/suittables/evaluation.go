@@ -1,0 +1,185 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"suit/internal/core"
+	"suit/internal/dvfs"
+	"suit/internal/guardband"
+	"suit/internal/isa"
+	"suit/internal/report"
+	"suit/internal/security"
+	"suit/internal/strategy"
+	"suit/internal/units"
+	"suit/internal/workload"
+)
+
+// table6Rows are the configurations of Table 6.
+type table6Config struct {
+	label string
+	chip  dvfs.Chip
+	kind  core.StrategyKind
+	cores int
+}
+
+func table6Configs() []table6Config {
+	return []table6Config{
+		{"𝒜₁  fV", dvfs.IntelI9_9900K(), core.KindFV, 1},
+		{"𝒜₄  fV", dvfs.IntelI9_9900K(), core.KindFV, 4},
+		{"𝒜∞  e", dvfs.IntelI9_9900K(), core.KindEmul, 1},
+		{"ℬ∞  f", dvfs.AMDRyzen7700X(), core.KindFreq, 1},
+		{"ℬ∞  e", dvfs.AMDRyzen7700X(), core.KindEmul, 1},
+		{"𝒞∞  fV", dvfs.XeonSilver4208(), core.KindFV, 1},
+	}
+}
+
+// runTable6 regenerates the paper's main results table.
+func runTable6(c cfg, w *os.File) error {
+	for _, spendAging := range []bool{false, true} {
+		offset := "−70 mV"
+		if spendAging {
+			offset = "−97 mV"
+		}
+		t := report.NewTable(fmt.Sprintf("Table 6 (%s undervolt)", offset),
+			"CPU/OS", "", "SPECgmean", "SPECmedian", "525.x264", "SPECnoSIMD", "Nginx", "VLC")
+		for _, rc := range table6Configs() {
+			row, err := core.EvaluateSuite(rc.chip, rc.kind, rc.cores, spendAging, c.specInstr, c.seed)
+			if err != nil {
+				return fmt.Errorf("%s: %w", rc.label, err)
+			}
+			t.AddRow(rc.label, "Pwr", report.Pct(row.SPECGmean.Pwr), report.Pct(row.SPECMedian.Pwr),
+				report.Pct(row.X264.Pwr), report.Pct(row.NoSIMD.Pwr), report.Pct(row.Nginx.Pwr), report.Pct(row.VLC.Pwr))
+			t.AddRow("", "Perf", report.Pct(row.SPECGmean.Perf), report.Pct(row.SPECMedian.Perf),
+				report.Pct(row.X264.Perf), report.Pct(row.NoSIMD.Perf), report.Pct(row.Nginx.Perf), report.Pct(row.VLC.Perf))
+			t.AddRow("", "Eff", report.Pct(row.SPECGmean.Eff), report.Pct(row.SPECMedian.Eff),
+				report.Pct(row.X264.Eff), report.Pct(row.NoSIMD.Eff), report.Pct(row.Nginx.Eff), report.Pct(row.VLC.Eff))
+			if rc.label == "𝒞∞  fV" && spendAging {
+				defer fmt.Fprintf(w, "\n𝒞 fV at −97 mV spends %.1f %% of the time on the efficient curve (paper: 72.7 %%)\n",
+					row.MeanEfficientShare*100)
+			}
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// runTable7 prints the Table 7 parameters and a sensitivity check around
+// the deadline (§6.4: ±10 µs changes average efficiency by only ~0.6 %).
+func runTable7(c cfg, w *os.File) error {
+	t := report.NewTable("Table 7. Operating-strategy parameters",
+		"CPU", "p_dl", "p_ts", "p_ec", "p_df")
+	ac := strategy.ParamsAC()
+	b := strategy.ParamsB()
+	t.AddRow("𝒜 & 𝒞", ac.Deadline.String(), ac.TimeSpan.String(),
+		fmt.Sprintf("%d", ac.MaxExceptions), fmt.Sprintf("%.0f", ac.DeadlineFactor))
+	t.AddRow("ℬ", b.Deadline.String(), b.TimeSpan.String(),
+		fmt.Sprintf("%d", b.MaxExceptions), fmt.Sprintf("%.0f", b.DeadlineFactor))
+	if err := t.Render(w); err != nil {
+		return err
+	}
+
+	// Sensitivity: efficiency of a mid-density benchmark under deadline
+	// variations.
+	gcc, _ := workload.ByName("502.gcc")
+	chip := dvfs.XeonSilver4208()
+	st := report.NewTable("\nDeadline sensitivity (502.gcc on 𝒞, −97 mV)",
+		"p_dl", "efficiency", "E-share")
+	for _, dl := range []float64{10, 20, 30, 40, 60, 120} {
+		p := strategy.ParamsAC()
+		p.Deadline = units.Microseconds(dl)
+		o, err := core.Run(core.Scenario{Chip: chip, Bench: gcc, Kind: core.KindFV,
+			SpendAging: true, Instructions: c.specInstr / 2, Params: &p, Seed: c.seed})
+		if err != nil {
+			return err
+		}
+		st.AddRow(fmt.Sprintf("%.0f µs", dl), report.Pct(o.Efficiency),
+			fmt.Sprintf("%.1f %%", o.EfficientShare*100))
+	}
+	return st.Render(w)
+}
+
+// runTable8 counts, per configuration, how many benchmarks prefer the
+// noSIMD build over SUIT.
+func runTable8(c cfg, w *os.File) error {
+	t := report.NewTable("Table 8. Benchmarks where noSIMD beats SUIT (−97 mV)",
+		"config", "No SIMD", "SUIT")
+	for _, rc := range table6Configs() {
+		row, err := core.CompareNoSIMD(rc.chip, rc.kind, rc.cores, true, c.specInstr/4, c.seed)
+		if err != nil {
+			return err
+		}
+		t.AddRow(rc.label, fmt.Sprintf("%d", row.NoSIMDBetter), fmt.Sprintf("%d", row.SUITBetter))
+	}
+	return t.Render(w)
+}
+
+// runFig16 prints per-benchmark performance and efficiency on CPU 𝒞.
+func runFig16(c cfg, w *os.File) error {
+	chip := dvfs.XeonSilver4208()
+	type rowData struct {
+		name string
+		lo   core.Outcome
+		hi   core.Outcome
+	}
+	var rows []rowData
+	benches := append(workload.SPEC(), workload.Nginx(), workload.VLC())
+	for _, b := range benches {
+		lo, err := core.Run(core.Scenario{Chip: chip, Bench: b, Kind: core.KindFV,
+			SpendAging: false, Instructions: c.specInstr, Seed: c.seed})
+		if err != nil {
+			return err
+		}
+		hi, err := core.Run(core.Scenario{Chip: chip, Bench: b, Kind: core.KindFV,
+			SpendAging: true, Instructions: c.specInstr, Seed: c.seed})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, rowData{b.Name, lo, hi})
+	}
+	// Paper orders the x-axis by decreasing benefit.
+	sort.Slice(rows, func(i, j int) bool { return rows[i].hi.Efficiency > rows[j].hi.Efficiency })
+	t := report.NewTable("Fig 16. Performance and efficiency on 𝒞 (fV)",
+		"benchmark", "perf −70", "eff −70", "perf −97", "eff −97", "E-share −97")
+	for _, r := range rows {
+		t.AddRow(r.name,
+			report.Pct(r.lo.Change.Perf), report.Pct(r.lo.Efficiency),
+			report.Pct(r.hi.Change.Perf), report.Pct(r.hi.Efficiency),
+			fmt.Sprintf("%.1f %%", r.hi.EfficientShare*100))
+	}
+	return t.Render(w)
+}
+
+// runSecurity performs the §6.9 analysis.
+func runSecurity(c cfg, w *os.File) error {
+	gb := guardband.Default()
+	off := gb.EfficientOffset(isa.FaultableMask, true, true)
+	if bad := security.CheckReduction(gb, isa.FaultableMask, off, true); len(bad) != 0 {
+		return fmt.Errorf("reduction check failed: %v", bad)
+	}
+	fmt.Fprintf(w, "reduction check: every enabled instruction keeps a non-negative margin at %v ✓\n", off)
+	if bad := security.CheckReduction(gb, 0, off, false); len(bad) == 0 {
+		return fmt.Errorf("blind undervolting unexpectedly passed the reduction check")
+	} else {
+		fmt.Fprintf(w, "without SUIT the same offset violates %d instructions (incl. IMUL): insecure ✗\n\n", len(bad))
+	}
+
+	rep, err := security.RunAttack(dvfs.IntelI9_9900K(), off, c.seed)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Undervolting fault attack (AES victim, −97 mV)",
+		"configuration", "silent faults", "#DO traps", "AES result")
+	for _, o := range []security.AttackOutcome{rep.Nominal, rep.Unsafe, rep.SUIT} {
+		result := "correct"
+		if o.WrongResult {
+			result = "CORRUPTED (key recoverable by DFA)"
+		}
+		t.AddRow(o.Config, fmt.Sprintf("%d", o.Faults), fmt.Sprintf("%d", o.Exceptions), result)
+	}
+	return t.Render(w)
+}

@@ -1,0 +1,132 @@
+// Command suittables regenerates every table and figure of the SUIT paper
+// (ASPLOS '24) from the simulation stack, printing paper-style tables and
+// CSV figure series.
+//
+// Usage:
+//
+//	suittables [-exp all|<id>] [-quick] [-seed n]
+//
+// Experiment ids: table1 delays table2 fig12 fig13 table3 aging table4
+// table5 fig14 fig5 fig6 fig7 fig8 fig9 fig10 fig11 table6 table7 table8
+// fig16 security, plus the extension experiments covert, baselines, sched
+// and variance. "all" (default) runs everything; -quick shortens the
+// simulated instruction streams for a fast pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(c cfg, w *os.File) error
+}
+
+type cfg struct {
+	quick bool
+	seed  uint64
+	// specInstr / netInstr are the per-core stream lengths.
+	specInstr uint64
+	netInstr  uint64
+}
+
+var experiments = []experiment{
+	{"table1", "Undervolting-induced instruction faults (Kogler et al.)", runTable1},
+	{"delays", "§5.2/5.3 measured delays used by the simulation", runDelays},
+	{"table2", "Score/power/frequency/efficiency response to undervolting", runTable2},
+	{"fig12", "SPEC score, power, frequency vs voltage offset (i9-9900K)", runFig12},
+	{"fig13", "Frequency-voltage pairs and the modified-IMUL curve", runFig13},
+	{"table3", "Temperature guardband (fan RPM / core temperature)", runTable3},
+	{"aging", "§5.6 aging guardband derivation", runAging},
+	{"table4", "SPEC CPU2017 without SIMD instructions", runTable4},
+	{"table5", "Out-of-order core configuration (gem5 substitute)", runTable5},
+	{"fig14", "Slowdown with increasing IMUL latency", runFig14},
+	{"fig5", "AES burst and the resulting DVFS curve switches", runFig5},
+	{"fig6", "Long burst under the fV operating strategy", runFig6},
+	{"fig7", "AES instruction timeline while VLC streams (gap sizes)", runFig7},
+	{"fig8", "Voltage change delay, i9-9900K", runFig8},
+	{"fig9", "Frequency change delay and stall, i9-9900K", runFig9},
+	{"fig10", "Frequency change delay, Ryzen 7 7700X (no stall)", runFig10},
+	{"fig11", "Per-core voltage-then-frequency change, Xeon Silver 4208", runFig11},
+	{"table6", "Power saving and performance impact of SUIT (main result)", runTable6},
+	{"table7", "Operating-strategy parameters and their sensitivity", runTable7},
+	{"table8", "Benchmarks where compiling without SIMD beats SUIT", runTable8},
+	{"fig16", "Per-benchmark performance and efficiency on CPU 𝒞 (fV)", runFig16},
+	{"security", "§6.9 security analysis: reduction check and fault attack", runSecurity},
+	{"covert", "§8 extension: curve-switching covert channel", runCovert},
+	{"baselines", "§7 extension: Razor / ECC-guided / xDVS comparison", runBaselines},
+	{"sched", "§7 extension: SUIT-aware task placement", runSched},
+	{"variance", "run-to-run variance of flagship cells (mean ± σ)", runVariance},
+}
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id to run, or 'all'")
+		quick  = flag.Bool("quick", false, "shorter simulations (lower fidelity)")
+		seed   = flag.Uint64("seed", 1, "simulation seed")
+		outDir = flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
+	)
+	flag.Parse()
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	c := cfg{quick: *quick, seed: *seed, specInstr: 1_000_000_000, netInstr: 200_000_000}
+	if *quick {
+		c.specInstr = 200_000_000
+		c.netInstr = 50_000_000
+	}
+
+	ids := map[string]experiment{}
+	for _, e := range experiments {
+		ids[e.id] = e
+	}
+	var torun []experiment
+	if *exp == "all" {
+		torun = experiments
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := ids[id]
+			if !ok {
+				var known []string
+				for k := range ids {
+					known = append(known, k)
+				}
+				sort.Strings(known)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n", id, strings.Join(known, " "))
+				os.Exit(2)
+			}
+			torun = append(torun, e)
+		}
+	}
+	for _, e := range torun {
+		fmt.Printf("==> %s — %s\n\n", e.id, e.desc)
+		target := os.Stdout
+		if *outDir != "" {
+			f, err := os.Create(fmt.Sprintf("%s/%s.txt", *outDir, e.id))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+				os.Exit(1)
+			}
+			target = f
+		}
+		err := e.run(c, target)
+		if target != os.Stdout {
+			target.Close()
+			fmt.Printf("(written to %s/%s.txt)\n", *outDir, e.id)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,81 @@
+// programtrace: record an instruction trace by *executing a program* —
+// the repository's analogue of the paper's QEMU plugin (§5.1) — and drive
+// it through the SUIT machine directly.
+//
+// The program is an HTTPS service loop: per request, protocol handling
+// followed by TLS record seals whose AESENC/VPCLMULQDQ bursts come from
+// the loop structure of AES-GCM itself, not from a statistical model.
+//
+//	go run ./examples/programtrace
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"suit/internal/cpu"
+	"suit/internal/dvfs"
+	"suit/internal/emul"
+	"suit/internal/guardband"
+	"suit/internal/isa"
+	"suit/internal/program"
+	"suit/internal/report"
+	"suit/internal/strategy"
+	"suit/internal/trace"
+)
+
+func main() {
+	// 1. Write the workload as a program: 40 requests serving 100 KiB
+	//    each, with ~2M instructions of non-crypto handling per request.
+	service := program.HTTPSRequest(100, 2_000_000).Repeat(40)
+
+	// 2. Record its trace — every Table 1 instruction with its exact
+	//    dynamic position.
+	tr, err := service.Record()
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := trace.Summarize(tr)
+	fmt.Printf("recorded %q: %d instructions, %d interesting events (density %.2e)\n",
+		stats.Name, stats.Total, stats.Events, stats.Density)
+	fmt.Printf("gap structure: median %d, max %d instructions — bursts from the AES-GCM loop\n\n",
+		stats.MedianGap, stats.MaxGap)
+
+	// 3. Run it on the SUIT machine under both trap-handling approaches.
+	chip := dvfs.XeonSilver4208()
+	gb := guardband.Default()
+	t := report.NewTable(
+		fmt.Sprintf("program-recorded HTTPS service on %s at −97 mV", chip.Name),
+		"strategy", "duration", "avg power", "E-share", "traps", "faults")
+	for _, strat := range []cpu.Strategy{
+		strategy.FV{P: strategy.ParamsAC()},
+		strategy.Emulation{},
+	} {
+		m, err := cpu.New(cpu.Config{
+			Chip:           chip,
+			Traces:         []*trace.Trace{tr},
+			Offset:         gb.EfficientOffset(isa.FaultableMask, true, true),
+			Faults:         gb,
+			HardenedIMUL:   true,
+			ExceptionDelay: chip.ExceptionDelay,
+			Emul:           emul.NewCostModel(chip.EmulCallDelay),
+			Seed:           1,
+		}, strat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(strat.Name(), res.Duration.String(), res.AvgPower.String(),
+			fmt.Sprintf("%.1f %%", res.EfficientShare()*100),
+			fmt.Sprintf("%d", res.Exceptions), fmt.Sprintf("%d", len(res.Faults)))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfV traps once per request burst; emulation traps on every AES round —")
+	fmt.Println("the same §6.6 contrast, here emerging from real program structure.")
+}

@@ -1,0 +1,56 @@
+// Quickstart: simulate SUIT on one workload and print the headline
+// numbers.
+//
+// The five steps below are the whole public API surface needed to
+// evaluate SUIT on a workload: pick a CPU model, pick (or define) a
+// workload, choose an operating strategy and undervolt depth, run, and
+// read the outcome relative to the pre-SUIT baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"suit/internal/core"
+	"suit/internal/dvfs"
+	"suit/internal/workload"
+)
+
+func main() {
+	// 1. The CPU: the paper's server-class model 𝒞 (Intel Xeon Silver
+	//    4208) with per-core frequency and voltage domains.
+	chip := dvfs.XeonSilver4208()
+
+	// 2. The workload: 557.xz — faultable SIMD instructions arrive in
+	//    rare bursts, SUIT's best case.
+	bench, ok := workload.ByName("557.xz")
+	if !ok {
+		log.Fatal("workload missing")
+	}
+
+	// 3+4. The operating strategy (fV, Listing 1 of the paper) at the
+	//    −97 mV design point (instruction variation + 20 % of the aging
+	//    guardband), run against the baseline.
+	outcome, err := core.Run(core.Scenario{
+		Chip:       chip,
+		Bench:      bench,
+		Kind:       core.KindFV,
+		SpendAging: true,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Read the results.
+	fmt.Printf("SUIT on %s running %s (offset %v):\n", chip.Name, bench.Name, outcome.Offset)
+	fmt.Printf("  performance: %+.2f %%\n", outcome.Change.Perf*100)
+	fmt.Printf("  power:       %+.2f %%\n", outcome.Change.Power*100)
+	fmt.Printf("  efficiency:  %+.2f %%\n", outcome.Efficiency*100)
+	fmt.Printf("  time on efficient curve: %.1f %%\n", outcome.EfficientShare*100)
+	fmt.Printf("  #DO exceptions: %d, curve switches: %d\n",
+		outcome.Run.Exceptions, outcome.Run.Switches)
+	fmt.Printf("  silent faults: %d (SUIT guarantees 0)\n", len(outcome.Run.Faults))
+}

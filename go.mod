@@ -1,0 +1,3 @@
+module suit
+
+go 1.22

@@ -1,0 +1,192 @@
+package baselines
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"suit/internal/dvfs"
+	"suit/internal/guardband"
+	"suit/internal/isa"
+	"suit/internal/trace"
+	"suit/internal/units"
+	"suit/internal/workload"
+)
+
+func TestRazorErrorRateShape(t *testing.T) {
+	r := DefaultRazor()
+	// Negligible at nominal voltage, saturating at the critical point.
+	if rate := r.ErrorRate(0); rate > 1e-4 {
+		t.Errorf("error rate at 0 mV = %v", rate)
+	}
+	if rate := r.ErrorRate(r.Vcrit); math.Abs(rate-1) > 1e-9 {
+		t.Errorf("error rate at Vcrit = %v, want 1 (capped)", rate)
+	}
+	if rate := r.ErrorRate(r.Vcrit - units.MilliVolts(50)); rate != 1 {
+		t.Errorf("rate below Vcrit = %v, want capped at 1", rate)
+	}
+	// Monotone in depth.
+	if r.ErrorRate(units.MilliVolts(-100)) <= r.ErrorRate(units.MilliVolts(-50)) {
+		t.Error("error rate not monotone in undervolt depth")
+	}
+}
+
+func TestRazorThroughputFactor(t *testing.T) {
+	r := DefaultRazor()
+	if tf := r.ThroughputFactor(0); tf < 0.999 {
+		t.Errorf("nominal throughput factor %v", tf)
+	}
+	// At the critical point every cycle replays: 1/(1+ReplayCycles).
+	want := 1 / (1 + r.ReplayCycles)
+	if tf := r.ThroughputFactor(r.Vcrit); math.Abs(tf-want) > 1e-9 {
+		t.Errorf("critical throughput factor %v, want %v", tf, want)
+	}
+}
+
+func TestRazorOptimizeFindsDeepOffset(t *testing.T) {
+	// Razor can dive past SUIT's −97 mV because it spends the aging
+	// guardband — but it stops before the error wall.
+	r := DefaultRazor()
+	off, ch := r.Optimize(dvfs.IntelI9_9900K())
+	if off > units.MilliVolts(-97) {
+		t.Errorf("Razor offset %v shallower than SUIT's −97 mV", off)
+	}
+	if off < r.Vcrit {
+		t.Errorf("Razor offset %v beyond the error wall %v", off, r.Vcrit)
+	}
+	if ch.Efficiency() <= 0 {
+		t.Errorf("Razor efficiency %v not positive", ch.Efficiency())
+	}
+	// Throughput stays near nominal at the optimum (errors are rare
+	// there).
+	if ch.Perf < -0.05 {
+		t.Errorf("Razor optimum loses %v performance", ch.Perf)
+	}
+}
+
+func TestECCGuidedCalibration(t *testing.T) {
+	e := DefaultECCGuided()
+	off := e.Calibrate(1)
+	// The weakest of 4096 lines sits ≈3σ above the mean floor; plus the
+	// safety margin the offset must be shallower than the mean.
+	if off <= e.MeanFloor {
+		t.Errorf("calibrated offset %v at or below the mean floor %v", off, e.MeanFloor)
+	}
+	if off > units.MilliVolts(-100) {
+		t.Errorf("calibrated offset %v implausibly shallow", off)
+	}
+	// Deterministic per seed.
+	if e.Calibrate(1) != off {
+		t.Error("calibration not deterministic per seed")
+	}
+	if e.Calibrate(2) == off {
+		t.Error("different seeds gave identical calibration")
+	}
+}
+
+func TestECCGuidedResponse(t *testing.T) {
+	e := DefaultECCGuided()
+	off, ch := e.Response(dvfs.IntelI9_9900K(), 1)
+	if off >= 0 {
+		t.Fatalf("offset %v not negative", off)
+	}
+	if ch.Power >= 0 {
+		t.Errorf("power change %v not negative", ch.Power)
+	}
+	// The calibration duty cycle costs a little performance relative to
+	// the pure frequency gain.
+	pure := float64(1) / (1 - float64(e.CalibrationCost)/float64(e.CalibrationEvery))
+	if ch.Perf > pure {
+		t.Errorf("perf %v ignores the calibration duty cycle", ch.Perf)
+	}
+}
+
+func TestWorkloadAwareOffset(t *testing.T) {
+	gb := guardband.Default()
+	// A trace that only executes background instructions can undervolt to
+	// the background margin minus safety.
+	quiet := &trace.Trace{Name: "quiet", Total: 1000, IPC: 1}
+	off, err := WorkloadAwareOffset(gb, quiet, units.MilliVolts(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantQuiet := -(gb.PhysicalMargin(isa.OpALU, false) - units.MilliVolts(10))
+	if math.Abs(float64(off-wantQuiet)) > 1e-9 {
+		t.Errorf("quiet offset %v, want %v", off, wantQuiet)
+	}
+	// A trace using AESENC is pinned by AESENC's much smaller margin.
+	aes := &trace.Trace{Name: "aes", Total: 1000, IPC: 1,
+		Events: []trace.Event{{Index: 1, Op: isa.OpAESENC}}}
+	offAES, err := WorkloadAwareOffset(gb, aes, units.MilliVolts(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offAES <= off {
+		t.Errorf("AES-using workload offset %v not shallower than quiet %v", offAES, off)
+	}
+	// Negative safety rejected.
+	if _, err := WorkloadAwareOffset(gb, quiet, units.MilliVolts(-1)); err == nil {
+		t.Error("negative safety accepted")
+	}
+}
+
+func TestWorkloadAwareIsUnsafeOnUnprofiledCode(t *testing.T) {
+	// The §7 security argument: the xDVS-style offset derived from a
+	// quiet profile faults when the workload later runs AESENC.
+	gb := guardband.Default()
+	quiet := &trace.Trace{Name: "profile", Total: 1000, IPC: 1}
+	off, err := WorkloadAwareOffset(gb, quiet, units.MilliVolts(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gb.Faults(isa.OpAESENC, off, false) {
+		t.Errorf("AESENC survives the quiet-profile offset %v; expected a silent fault", off)
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	gb := guardband.Default()
+	b, _ := workload.ByName("557.xz")
+	tr, err := b.GenerateTrace(10_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Compare(dvfs.IntelI9_9900K(), gb, tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	// Sorted by efficiency.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Eff > rows[i-1].Eff {
+			t.Errorf("rows not sorted at %d", i)
+		}
+	}
+	// SUIT must be the only approach that neither spends the aging
+	// guardband nor faults on unprofiled code.
+	for _, r := range rows {
+		isSUIT := strings.HasPrefix(r.Name, "SUIT")
+		if isSUIT && (r.SpendsAgingGuardband || r.FaultsOnUnprofiled) {
+			t.Errorf("SUIT row carries risk flags: %+v", r)
+		}
+		if !isSUIT && !r.SpendsAgingGuardband {
+			t.Errorf("%s does not spend the guardband?", r.Name)
+		}
+		if r.Eff == 0 {
+			t.Errorf("%s has zero efficiency", r.Name)
+		}
+	}
+}
+
+func TestApproachString(t *testing.T) {
+	a := Approach{Name: "x", Offset: units.MilliVolts(-97), Eff: 0.2,
+		SpendsAgingGuardband: true, FaultsOnUnprofiled: true}
+	s := a.String()
+	for _, want := range []string{"x:", "-97 mV", "+20.0 %", "[spends guardband]", "[unsafe on unprofiled code]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"suit/internal/metrics"
+)
+
+// Stats summarises repeated runs of one scenario across seeds — the form
+// in which the paper reports its measurements (mean with n and σ).
+type Stats struct {
+	N int
+	// Means and sample standard deviations of the headline metrics.
+	Perf, PerfSigma   float64
+	Power, PowerSigma float64
+	Eff, EffSigma     float64
+	Share, ShareSigma float64
+	// Outcomes holds the individual runs (seed order).
+	Outcomes []Outcome
+}
+
+// RunN evaluates the scenario under n different seeds (s.Seed, s.Seed+1,
+// …) and aggregates. Trace generation and transition jitter both depend
+// on the seed, so the spread captures the model's run-to-run variance.
+func RunN(s Scenario, n int) (Stats, error) {
+	if n < 2 {
+		return Stats{}, errors.New("core: RunN needs at least two seeds for a σ")
+	}
+	outs := make([]Outcome, n)
+	errs := make([]error, n)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sc := s
+			sc.Seed = s.Seed + uint64(i)
+			outs[i], errs[i] = Run(sc)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return Stats{}, fmt.Errorf("core: seed %d: %w", s.Seed+uint64(i), err)
+		}
+	}
+
+	collect := func(f func(Outcome) float64) (mean, sigma float64) {
+		xs := make([]float64, n)
+		for i, o := range outs {
+			xs[i] = f(o)
+		}
+		mean, _ = metrics.Mean(xs)
+		sigma, _ = metrics.StdDev(xs)
+		return
+	}
+	st := Stats{N: n, Outcomes: outs}
+	st.Perf, st.PerfSigma = collect(func(o Outcome) float64 { return o.Change.Perf })
+	st.Power, st.PowerSigma = collect(func(o Outcome) float64 { return o.Change.Power })
+	st.Eff, st.EffSigma = collect(func(o Outcome) float64 { return o.Efficiency })
+	st.Share, st.ShareSigma = collect(func(o Outcome) float64 { return o.EfficientShare })
+	return st, nil
+}

@@ -1,0 +1,46 @@
+package cpu
+
+import (
+	"testing"
+
+	"suit/internal/isa"
+	"suit/internal/trace"
+	"suit/internal/units"
+)
+
+// benchOp cycles the faultable set for variety.
+var benchOpIdx int
+
+func benchOp() isa.Opcode {
+	ops := isa.Faultable()
+	benchOpIdx++
+	return ops[benchOpIdx%len(ops)]
+}
+
+// BenchmarkMachineEventLoop measures the simulator's own throughput: trap
+// events processed per wall second — the quantity that sets how long
+// Table 6 regeneration takes.
+func BenchmarkMachineEventLoop(b *testing.B) {
+	const events = 10_000
+	tr := &trace.Trace{Name: "bench", Total: uint64(events+1) * 500_000, IPC: 2}
+	for i := uint64(0); i < events; i++ {
+		tr.Events = append(tr.Events, trace.Event{Index: (i + 1) * 500_000, Op: benchOp()})
+	}
+	cfg := testConfig(tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := New(cfg, fvLite{deadline: units.Microseconds(30)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Exceptions == 0 {
+			b.Fatal("no traps simulated")
+		}
+		b.ReportMetric(float64(res.Exceptions), "traps")
+	}
+}

@@ -1,0 +1,302 @@
+package cpu
+
+import (
+	"fmt"
+	"suit/internal/emul"
+
+	"suit/internal/dvfs"
+	"suit/internal/isa"
+	"suit/internal/msr"
+	"suit/internal/units"
+)
+
+// Strategy is the OS half of SUIT (§4.3): it receives the #DO exception
+// and deadline-timer interrupts and drives the hardware through the
+// Controller, exactly as Listing 1 sketches.
+//
+// Hooks run in "handler time": controller calls that wait (RequestWait,
+// Emulate) advance the handler clock, and state changes (Enable/Disable,
+// ArmDeadline) take effect at the handler clock's current value. The
+// trapping core resumes when the hook returns.
+type Strategy interface {
+	// Name identifies the strategy in reports ("fV", "f", "V", "e").
+	Name() string
+	// Init runs once at time zero, before any instruction executes —
+	// the OS configuring the machine (disable instructions, select the
+	// starting curve).
+	Init(ctl Controller)
+	// OnDisabledOpcode handles a #DO trap raised by core in domain.
+	// If it does not emulate the instruction, the instruction re-executes
+	// when the core resumes.
+	OnDisabledOpcode(ctl Controller, domain, core int, op isa.Opcode)
+	// OnDeadline handles the deadline-timer interrupt of domain.
+	OnDeadline(ctl Controller, domain int)
+}
+
+// Controller is the hardware interface strategies program, mirroring the
+// SUIT MSRs (§3.2, §3.3) plus the p-state machinery.
+type Controller interface {
+	// Now returns the handler clock.
+	Now() units.Second
+	// Points returns the machine's operating points.
+	Points() Points
+	// Domains returns the number of DVFS domains.
+	Domains() int
+	// Mode returns the domain's current target mode.
+	Mode(domain int) Mode
+	// RequestWait initiates a transition to mode and advances the
+	// handler clock to its completion (Listing 1's change_pstate_wait).
+	RequestWait(domain int, mode Mode)
+	// RequestAsync initiates a transition without waiting.
+	RequestAsync(domain int, mode Mode)
+	// DisableInstructions/EnableInstructions write the SUIT disable MSR
+	// at the current handler clock.
+	DisableInstructions(domain int)
+	EnableInstructions(domain int)
+	// ArmDeadline writes the deadline MSR: the timer fires after d
+	// unless a faultable instruction resets it first (§4.1).
+	ArmDeadline(domain int, d units.Second)
+	// DisarmDeadline cancels the timer.
+	DisarmDeadline(domain int)
+	// ExceptionsWithin counts #DO traps in the domain during the last
+	// window — the OS bookkeeping behind thrashing prevention.
+	ExceptionsWithin(domain int, window units.Second) int
+	// Emulate resolves the trapped instruction in software: the core is
+	// charged the emulation-call delay plus the replacement's work, and
+	// the instruction is consumed instead of re-executed. Only valid
+	// inside OnDisabledOpcode.
+	Emulate(op isa.Opcode)
+}
+
+// controller is the Machine's Controller implementation. It is recreated
+// per hook invocation to carry the handler context.
+type controller struct {
+	m *Machine
+}
+
+func (c controller) Now() units.Second { return c.m.handlerTime }
+func (c controller) Points() Points    { return c.m.pts }
+func (c controller) Domains() int      { return len(c.m.domains) }
+
+func (c controller) Mode(domain int) Mode { return c.m.domains[domain].target }
+
+// at runs fn at the handler clock: immediately when the handler has not
+// advanced past simulation time, deferred otherwise. MSR writes and timer
+// arming must not become visible to other cores before the handler
+// actually reaches that line.
+func (c controller) at(fn func()) {
+	if c.m.handlerTime <= c.m.now {
+		fn()
+		return
+	}
+	c.m.scheduled = append(c.m.scheduled, schedAction{t: c.m.handlerTime, fn: fn})
+}
+
+func (c controller) RequestWait(domain int, mode Mode) {
+	end := c.m.requestTransition(domain, mode, c.m.handlerTime)
+	if end > c.m.handlerTime {
+		c.m.handlerTime = end
+	}
+}
+
+func (c controller) RequestAsync(domain int, mode Mode) {
+	c.m.requestTransition(domain, mode, c.m.handlerTime)
+}
+
+func (c controller) DisableInstructions(domain int) {
+	d := c.m.domains[domain]
+	d.disabledView = true
+	c.at(func() {
+		d.msrs.Poke(msr.SUITDisable, uint64(isa.FaultableMask))
+		d.disabled = true
+	})
+}
+
+func (c controller) EnableInstructions(domain int) {
+	d := c.m.domains[domain]
+	d.disabledView = false
+	c.at(func() {
+		d.msrs.Poke(msr.SUITDisable, 0)
+		d.disabled = false
+	})
+}
+
+func (c controller) ArmDeadline(domain int, dur units.Second) {
+	if dur <= 0 {
+		panic(fmt.Sprintf("cpu: non-positive deadline %v", dur))
+	}
+	d := c.m.domains[domain]
+	expiry := c.m.handlerTime + dur
+	c.at(func() {
+		d.deadlineDur = dur
+		d.deadlineAt = expiry
+		d.msrs.Poke(msr.SUITDeadline, uint64(dur.Microseconds()*1000)) // ns ticks
+	})
+}
+
+func (c controller) DisarmDeadline(domain int) {
+	d := c.m.domains[domain]
+	c.at(func() {
+		d.deadlineAt = 0
+		d.msrs.Poke(msr.SUITDeadline, 0)
+	})
+}
+
+func (c controller) ExceptionsWithin(domain int, window units.Second) int {
+	d := c.m.domains[domain]
+	cutoff := c.m.handlerTime - window
+	n := 0
+	for i := len(d.exceptions) - 1; i >= 0; i-- {
+		if d.exceptions[i] < cutoff {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func (c controller) Emulate(op isa.Opcode) {
+	m := c.m
+	if m.handlerCore < 0 {
+		panic("cpu: Emulate outside a #DO handler")
+	}
+	co := m.cores[m.handlerCore]
+	d := m.domainOf(m.handlerCore)
+	cost := m.cfg.Emul.Time(op, d.freq)
+	m.handlerTime += cost
+	if m.cfg.ExecuteEmulation {
+		// Functionally execute the replacement: the machine refuses to
+		// pretend an emulation exists that internal/emul cannot perform.
+		a := emul.Vec128{Lo: uint64(co.idx)*0x9e3779b97f4a7c15 + 1, Hi: uint64(co.id) + 0xabcdef}
+		b := emul.Vec128{Lo: a.Hi ^ 0x5555555555555555, Hi: a.Lo}
+		if _, err := emul.Emulate(op, a, b, uint8(co.idx)); err != nil {
+			panic(fmt.Sprintf("cpu: emulation of %v failed: %v", op, err))
+		}
+	}
+	// The instruction is resolved in software: consume it.
+	if co.retry {
+		co.retry = false
+		co.pos = float64(co.tr.Events[co.idx].Index) + 1
+		co.idx++
+	}
+	m.res.Emulated++
+}
+
+// requestTransition plans a p-state change toward mode starting at time t,
+// returning its completion time. A pending transition is superseded: the
+// new plan starts from the instantaneous voltage/frequency (this is how a
+// deadline expiring mid-ramp "cancels the voltage change", §4.3).
+func (m *Machine) requestTransition(domainID int, mode Mode, t units.Second) units.Second {
+	d := m.domains[domainID]
+	target := m.pts.Get(mode)
+
+	// Hardware interlock (§3.2): the efficient curve is refused while
+	// the faultable instructions are enabled — unless this machine
+	// models a pre-SUIT CPU (AllowUnsafe) for attack baselines.
+	// (A deferred disable counts: the handler issued it before this
+	// request, so check the handler-visible state.)
+	if mode == ModeE && !m.handlerDisabled(d) && !m.cfg.AllowUnsafe {
+		panic(fmt.Sprintf("cpu: strategy %q selected the efficient curve with instructions enabled", m.strategy.Name()))
+	}
+
+	// Supersede any in-flight transition from the instantaneous state:
+	// milestones already in the past are committed first, the rest is
+	// cancelled (a deadline expiring mid-ramp "cancels the voltage
+	// change", §4.3).
+	if p := d.pending; p != nil {
+		if p.target == mode {
+			// Already heading there; keep the existing plan.
+			return p.safeAt
+		}
+		if p.freqApply > 0 && p.freqTarget != 0 && p.freqApply <= t {
+			d.freq = p.freqTarget
+		}
+		if p.end <= t {
+			d.mode = p.target
+		}
+	}
+	curV := d.voltAt(t)
+	d.pending = nil
+	d.volt, d.voltGoal, d.voltT0, d.voltT1 = curV, curV, t, t
+
+	if d.freq == target.F && curV == target.V {
+		d.target = mode
+		d.mode = mode
+		return t
+	}
+	m.res.Switches++
+	if m.cfg.RecordTimeline && domainID == 0 && len(m.res.Timeline) < timelineCap {
+		m.res.Timeline = append(m.res.Timeline, ModeChange{T: t, Mode: mode})
+	}
+	d.target = mode
+
+	tm := m.cfg.Chip.Transition
+	norm := m.rng.NormFloat64
+
+	tr := &transition{target: mode}
+	voltChange := curV != target.V
+	freqChange := d.freq != target.F
+
+	var voltDelay, freqDelay units.Second
+	if voltChange {
+		voltDelay = dvfs.Jitter(tm.VoltDelay, tm.VoltDelaySigma, norm())
+	}
+	if freqChange {
+		freqDelay = dvfs.Jitter(tm.FreqDelay, tm.FreqDelaySigma, norm())
+	}
+
+	switch {
+	case voltChange && freqChange && target.V > curV:
+		// Raising voltage and frequency: voltage must settle first
+		// (raising f early would undervolt the new frequency).
+		d.voltGoal = target.V
+		d.voltT0, d.voltT1 = t, t+voltDelay
+		tr.freqTarget = target.F
+		tr.freqApply = t + voltDelay + freqDelay
+		tr.stallFrom = tr.freqApply - tm.FreqStall
+		tr.safeAt = tr.freqApply
+	case voltChange && freqChange:
+		// Lowering voltage: frequency drops first, voltage follows. The
+		// target curve is safely reached once the frequency applies —
+		// the outstanding voltage drop only sheds excess margin.
+		tr.freqTarget = target.F
+		tr.freqApply = t + freqDelay
+		tr.stallFrom = tr.freqApply - tm.FreqStall
+		d.voltGoal = target.V
+		d.voltT0, d.voltT1 = t+freqDelay, t+freqDelay+voltDelay
+		tr.safeAt = tr.freqApply
+	case voltChange:
+		d.voltGoal = target.V
+		d.voltT0, d.voltT1 = t, t+voltDelay
+		tr.safeAt = t
+		if target.V > curV {
+			tr.safeAt = d.voltT1
+		}
+	default: // frequency only
+		tr.freqTarget = target.F
+		tr.freqApply = t + freqDelay
+		tr.stallFrom = tr.freqApply - tm.FreqStall
+		tr.safeAt = tr.freqApply
+	}
+	if tr.stallFrom < t {
+		tr.stallFrom = t
+	}
+	tr.voltDone = d.voltT1
+	tr.end = max(tr.freqApply, d.voltT1)
+	d.pending = tr
+	return tr.safeAt
+}
+
+func (m *Machine) domainOf(coreID int) *domain {
+	return m.domains[m.domainIndexOf(coreID)]
+}
+
+func (m *Machine) domainIndexOf(coreID int) int {
+	if m.coreDomain != nil {
+		return m.coreDomain[coreID]
+	}
+	if len(m.domains) == 1 {
+		return 0
+	}
+	return coreID
+}

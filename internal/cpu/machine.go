@@ -1,0 +1,528 @@
+// Package cpu implements the event-driven CPU simulator of §6.2 (Fig 15):
+// a machine executes one recorded instruction stream per core while an
+// operating-strategy (the OS half of SUIT) reacts to Disabled Opcode
+// exceptions and deadline-timer interrupts through the controller
+// interface of Listing 1. The machine models DVFS domains with the
+// measured transition delays, the #DO trap with its measured exception
+// delay, the deadline timer with hardware reset-on-faultable-execution,
+// per-segment package power integration, and a fault monitor that records
+// any faultable instruction executed below its safe voltage — the
+// security property SUIT must uphold and unsafe undervolting violates.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"suit/internal/dvfs"
+	"suit/internal/emul"
+	"suit/internal/guardband"
+	"suit/internal/isa"
+	"suit/internal/msr"
+	"suit/internal/power"
+	"suit/internal/trace"
+	"suit/internal/units"
+)
+
+// Mode identifies an operating point of the SUIT state machine (Fig 4).
+type Mode uint8
+
+// Operating points. ModeBase is the pre-SUIT baseline: the vendor curve at
+// the TDP-sustainable state with no undervolt. ModeE is the efficient
+// curve; ModeCf the conservative curve reached by lowering the frequency
+// at the efficient voltage; ModeCv the conservative curve at full
+// frequency and voltage.
+const (
+	ModeBase Mode = iota
+	ModeE
+	ModeCf
+	ModeCv
+	numModes
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeBase:
+		return "base"
+	case ModeE:
+		return "E"
+	case ModeCf:
+		return "Cf"
+	case ModeCv:
+		return "Cv"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Point is a concrete operating point.
+type Point struct {
+	F units.Hertz
+	V units.Volt
+}
+
+// Points are the machine's resolved operating points.
+type Points struct {
+	Base Point // conservative curve, no undervolt, TDP-sustainable
+	E    Point // efficient curve: higher sustainable frequency, V−offset
+	Cf   Point // conservative curve at the efficient voltage (lower f)
+	Cv   Point // conservative curve at the efficient frequency (full V)
+}
+
+// Get returns the point for a mode.
+func (p Points) Get(m Mode) Point {
+	switch m {
+	case ModeE:
+		return p.E
+	case ModeCf:
+		return p.Cf
+	case ModeCv:
+		return p.Cv
+	default:
+		return p.Base
+	}
+}
+
+// Config assembles a machine.
+type Config struct {
+	Chip dvfs.Chip
+	// Traces holds one instruction stream per core to simulate; its
+	// length sets the number of active cores (≤ Chip.Cores).
+	Traces []*trace.Trace
+	// Offset is the efficient-curve undervolt (negative, e.g. −97 mV).
+	Offset units.Volt
+	// Faults is the voltage-margin model used for curve determination
+	// and the fault monitor.
+	Faults *guardband.Model
+	// HardenedIMUL selects the SUIT CPU with the 4-cycle IMUL.
+	HardenedIMUL bool
+	// IMULOverhead is the per-core relative slowdown of the hardened
+	// IMUL for this workload (§6.1; from internal/uarch). Applied as a
+	// reduction of the effective execution rate.
+	IMULOverhead []float64
+	// ExceptionDelay is the #DO entry+exit cost (§5.3).
+	ExceptionDelay units.Second
+	// Emul prices instruction emulation (§5.3 call delay + work).
+	Emul emul.CostModel
+	// AllowUnsafe permits selecting undervolted points without disabling
+	// the faultable instructions — a CPU without SUIT's hardware
+	// interlock, used for the attack baseline. SUIT machines must leave
+	// this false.
+	AllowUnsafe bool
+	// Seed drives transition-delay jitter.
+	Seed uint64
+	// RecordTimeline captures curve-switch events (domain 0) in
+	// Result.Timeline — the raw material of Figs 5 and 6.
+	RecordTimeline bool
+	// SampleEvery, when positive, samples domain 0's operating point
+	// (frequency, instantaneous voltage, mode) on a fixed grid into
+	// Result.Samples — the simulator-side analogue of the §5.2 polling
+	// loops, and the direct data behind Fig 6's voltage/frequency traces.
+	SampleEvery units.Second
+
+	// DomainOf, when non-nil, overrides the chip's domain topology with
+	// an explicit core→domain mapping (one entry per trace; domain ids
+	// must be contiguous from 0). Cluster-granular DVFS domains are what
+	// make SUIT-aware scheduling interesting (§7's Nest-style placement,
+	// internal/sched).
+	DomainOf []int
+
+	// ExecuteEmulation runs the actual software replacement from
+	// internal/emul for every emulated trap (on deterministic synthetic
+	// operands) instead of only charging its cost — proving each trapped
+	// opcode really has a working emulation. Expensive for emulation-
+	// heavy runs; intended for verification passes.
+	ExecuteEmulation bool
+
+	// Ablation hooks (not part of the SUIT design; used to quantify the
+	// design decisions of §4):
+	//
+	// NoDeadlineReset disables the hardware behaviour of §4.1 where
+	// executing a faultable instruction restarts the deadline timer —
+	// the timer then measures a fixed stay after the *first* trap.
+	NoDeadlineReset bool
+	// TrapIMUL treats IMUL as a member of the disabled set instead of
+	// hardening it — the configuration §4.2 argues against (a trap every
+	// ~560 instructions pins the CPU to the conservative curve).
+	TrapIMUL bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Chip.Validate(); err != nil {
+		return err
+	}
+	if len(c.Traces) == 0 {
+		return errors.New("cpu: need at least one trace")
+	}
+	if len(c.Traces) > c.Chip.Cores {
+		return fmt.Errorf("cpu: %d traces exceed %d cores", len(c.Traces), c.Chip.Cores)
+	}
+	for i, tr := range c.Traces {
+		if tr == nil {
+			return fmt.Errorf("cpu: trace %d is nil", i)
+		}
+		if err := tr.Validate(); err != nil {
+			return fmt.Errorf("cpu: trace %d: %w", i, err)
+		}
+	}
+	if c.Offset > 0 {
+		return fmt.Errorf("cpu: positive undervolt offset %v", c.Offset)
+	}
+	if c.Faults == nil {
+		return errors.New("cpu: nil fault model")
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if len(c.IMULOverhead) != 0 && len(c.IMULOverhead) != len(c.Traces) {
+		return errors.New("cpu: IMULOverhead length must match traces")
+	}
+	if c.ExceptionDelay < 0 {
+		return errors.New("cpu: negative exception delay")
+	}
+	if c.DomainOf != nil {
+		if len(c.DomainOf) != len(c.Traces) {
+			return fmt.Errorf("cpu: DomainOf has %d entries for %d traces", len(c.DomainOf), len(c.Traces))
+		}
+		seen := map[int]bool{}
+		maxID := -1
+		for i, d := range c.DomainOf {
+			if d < 0 {
+				return fmt.Errorf("cpu: DomainOf[%d] = %d negative", i, d)
+			}
+			seen[d] = true
+			if d > maxID {
+				maxID = d
+			}
+		}
+		for d := 0; d <= maxID; d++ {
+			if !seen[d] {
+				return fmt.Errorf("cpu: DomainOf skips domain %d", d)
+			}
+		}
+	}
+	return nil
+}
+
+// FaultRecord is one silent-data-corruption event: a faultable instruction
+// executed while the supply voltage was below its requirement.
+type FaultRecord struct {
+	T      units.Second
+	Core   int
+	Op     isa.Opcode
+	V      units.Volt
+	Margin units.Volt // how far below the safe voltage it executed
+}
+
+// Result summarises one run.
+type Result struct {
+	// Duration is the wall-clock time until the last core finished.
+	Duration units.Second
+	// PerCore is each core's completion time.
+	PerCore []units.Second
+	// Energy is the package energy over Duration; AvgPower its mean.
+	Energy   units.Joule
+	AvgPower units.Watt
+	// RAPLCounter is the final package energy-status reading.
+	RAPLCounter uint32
+	// Exceptions is the number of #DO traps; Emulated the subset resolved
+	// by emulation; Switches the number of p-state transition requests.
+	Exceptions int
+	Emulated   int
+	Switches   int
+	// DeadlineFires counts timer interrupts delivered to the strategy.
+	DeadlineFires int
+	// Residency is the time the (first) domain spent at each mode.
+	Residency [numModes]units.Second
+	// Faults are the recorded silent corruptions (must be empty for any
+	// SUIT configuration).
+	Faults []FaultRecord
+	// Instructions is the total committed over all cores.
+	Instructions uint64
+	// Timeline holds domain 0's curve-switch requests when
+	// Config.RecordTimeline is set (capped at timelineCap entries).
+	Timeline []ModeChange
+	// Samples holds the fixed-grid operating-point samples when
+	// Config.SampleEvery is set (capped at timelineCap entries).
+	Samples []StateSample
+}
+
+// StateSample is one operating-point observation of domain 0.
+type StateSample struct {
+	T    units.Second
+	F    units.Hertz
+	V    units.Volt
+	Mode Mode
+}
+
+// ModeChange is one curve-switch request on the timeline.
+type ModeChange struct {
+	T    units.Second
+	Mode Mode
+}
+
+// timelineCap bounds timeline memory for switch-heavy runs.
+const timelineCap = 1 << 18
+
+// EfficientShare returns the fraction of time on the efficient curve.
+func (r Result) EfficientShare() float64 {
+	var tot units.Second
+	for _, d := range r.Residency {
+		tot += d
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(r.Residency[ModeE] / tot)
+}
+
+// core is one simulated core's execution state.
+type core struct {
+	id       int
+	tr       *trace.Trace
+	idx      int     // next trace event
+	pos      float64 // current instruction index (fractional progress)
+	rate     float64 // slowdown divisor: 1 + IMULOverhead
+	finished bool
+	// blockedUntil: the core executes nothing before this time (handler
+	// execution, emulation, wait-for-transition).
+	blockedUntil units.Second
+	// retry: the pending faultable instruction trapped and must
+	// re-execute once the core unblocks.
+	retry bool
+	done  units.Second // completion time
+}
+
+// transition is an in-flight p-state change of a domain.
+type transition struct {
+	target     Mode
+	freqTarget units.Hertz
+	freqApply  units.Second // when the new frequency takes effect (0 = none)
+	stallFrom  units.Second
+	voltDone   units.Second // when the ramp ends (0 = none pending)
+	end        units.Second
+	// safeAt is when the domain is safely *at* the target curve for the
+	// purpose of re-enabling instructions: rising-voltage transitions
+	// must settle fully, falling-voltage ones only need the frequency
+	// applied (the residual voltage drop only adds margin).
+	safeAt units.Second
+}
+
+// domain is one frequency(+voltage) domain.
+type domain struct {
+	id    int
+	cores []*core
+	msrs  *msr.File
+
+	mode     Mode // residency attribution: last *completed* target
+	target   Mode // requested target
+	freq     units.Hertz
+	volt     units.Volt // voltage at voltT (start of current ramp segment)
+	voltGoal units.Volt
+	voltT0   units.Second // ramp start time
+	voltT1   units.Second // ramp end (== voltT0 when settled)
+
+	disabled bool // faultable instructions disabled (hardware state)
+	// disabledView is the OS-visible value: handler writes become
+	// visible here immediately while the hardware effect lands at the
+	// handler clock.
+	disabledView bool
+
+	pending *transition
+
+	deadlineAt  units.Second // 0 = disarmed
+	deadlineDur units.Second
+
+	// exceptions holds recent #DO timestamps for thrashing prevention.
+	exceptions []units.Second
+}
+
+// voltAt returns the domain voltage at time t (linear regulator ramp).
+func (d *domain) voltAt(t units.Second) units.Volt {
+	if t >= d.voltT1 || d.voltT1 == d.voltT0 {
+		return d.voltGoal
+	}
+	if t <= d.voltT0 {
+		return d.volt
+	}
+	frac := float64(t-d.voltT0) / float64(d.voltT1-d.voltT0)
+	return d.volt + units.Volt(frac)*(d.voltGoal-d.volt)
+}
+
+// stalledAt reports whether the domain cores are stalled by a frequency
+// change at time t.
+func (d *domain) stalledAt(t units.Second) bool {
+	return d.pending != nil && d.pending.freqApply > 0 &&
+		t >= d.pending.stallFrom && t < d.pending.freqApply
+}
+
+// Machine is the simulated CPU.
+type Machine struct {
+	cfg     Config
+	pts     Points
+	cons    dvfs.Curve // conservative (vendor) curve
+	domains []*domain
+	cores   []*core
+	rng     *rand.Rand
+
+	now      units.Second
+	meter    power.Integrator
+	rapl     *power.RAPL
+	strategy Strategy
+
+	// handlerTime is the OS-handler clock while a strategy hook runs.
+	handlerTime units.Second
+	// handlerCore is the core executing the current #DO handler (-1 in
+	// timer context).
+	handlerCore int
+	// scheduled holds handler effects that land later in simulated time.
+	scheduled []schedAction
+	// nextSample is the next grid point when SampleEvery is active.
+	nextSample units.Second
+	// coreDomain maps core → domain when Config.DomainOf is set.
+	coreDomain []int
+
+	res Result
+}
+
+// schedAction is a deferred handler effect.
+type schedAction struct {
+	t  units.Second
+	fn func()
+}
+
+// handlerDisabled reports the OS-visible disable state of d.
+func (m *Machine) handlerDisabled(d *domain) bool { return d.disabledView }
+
+// New builds a machine. The operating points are resolved from the chip,
+// the fault model and the offset: the efficient point gets the TDP
+// headroom the undervolt frees up (§5.4).
+func New(cfg Config, strategy Strategy) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if strategy == nil {
+		return nil, errors.New("cpu: nil strategy")
+	}
+	chip := cfg.Chip
+	// P-states are provisioned for the all-core sustained load: vendors
+	// pick the guaranteed base bins assuming every core is busy, and the
+	// paper's measured frequency gains (Table 2) are all-core SPEC runs.
+	baseState := chip.SustainableState(chip.Vendor, 0, chip.Cores)
+	effState := chip.SustainableState(chip.Vendor, cfg.Offset, chip.Cores)
+	fE := effState.F
+	vE := chip.Vendor.VoltageAt(fE) + cfg.Offset
+	// Cf: the highest frequency the conservative curve certifies at the
+	// efficient voltage (Fig 4's horizontal move), floored to the bus
+	// clock granularity the ratio field can express.
+	fCf := chip.Vendor.FrequencyAt(vE)
+	if chip.BusClock > 0 {
+		fCf = units.Hertz(math.Floor(float64(fCf)/float64(chip.BusClock))) * chip.BusClock
+	}
+	if min := chip.Vendor.Min().F; fCf < min {
+		fCf = min
+	}
+	// Cv is the conservative curve at full sustained performance. The
+	// undervolt-earned frequency headroom evaporates at full voltage —
+	// sustaining fE at the conservative voltage would exceed the TDP —
+	// so Cv coincides with the baseline operating point.
+	pts := Points{
+		Base: Point{F: baseState.F, V: chip.Vendor.VoltageAt(baseState.F)},
+		E:    Point{F: fE, V: vE},
+		Cf:   Point{F: fCf, V: vE},
+		Cv:   Point{F: baseState.F, V: chip.Vendor.VoltageAt(baseState.F)},
+	}
+
+	m := &Machine{
+		cfg:         cfg,
+		pts:         pts,
+		cons:        chip.Vendor,
+		rng:         rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x5DEECE66D)),
+		rapl:        power.NewRAPL(0),
+		strategy:    strategy,
+		handlerCore: -1,
+	}
+
+	for i, tr := range cfg.Traces {
+		rate := 1.0
+		if len(cfg.IMULOverhead) > 0 {
+			rate = 1 + cfg.IMULOverhead[i]
+		}
+		m.cores = append(m.cores, &core{id: i, tr: tr, rate: rate})
+	}
+
+	switch {
+	case cfg.DomainOf != nil:
+		maxID := 0
+		for _, d := range cfg.DomainOf {
+			if d > maxID {
+				maxID = d
+			}
+		}
+		groups := make([][]*core, maxID+1)
+		for i, c := range m.cores {
+			d := cfg.DomainOf[i]
+			groups[d] = append(groups[d], c)
+		}
+		m.coreDomain = cfg.DomainOf
+		for id, g := range groups {
+			m.domains = append(m.domains, newDomain(id, g, pts.Base))
+		}
+	case chip.Domains == dvfs.SingleDomain:
+		m.domains = []*domain{newDomain(0, m.cores, pts.Base)}
+	default:
+		for i, c := range m.cores {
+			m.domains = append(m.domains, newDomain(i, []*core{c}, pts.Base))
+		}
+	}
+	m.res.PerCore = make([]units.Second, len(m.cores))
+	return m, nil
+}
+
+func newDomain(id int, cores []*core, start Point) *domain {
+	d := &domain{
+		id:       id,
+		cores:    cores,
+		msrs:     msr.NewFile(),
+		mode:     ModeBase,
+		target:   ModeBase,
+		freq:     start.F,
+		volt:     start.V,
+		voltGoal: start.V,
+	}
+	d.msrs.Poke(msr.IA32PerfStatus, msr.EncodePerfStatus(uint8(start.F.GHz()*10), float64(start.V)))
+	return d
+}
+
+// Points returns the resolved operating points.
+func (m *Machine) Points() Points { return m.pts }
+
+// Domains returns the number of DVFS domains.
+func (m *Machine) Domains() int { return len(m.domains) }
+
+// MSRs exposes a domain's register file (read-only use by tools/tests).
+func (m *Machine) MSRs(domain int) *msr.File { return m.domains[domain].msrs }
+
+// Now returns the current simulation time.
+func (m *Machine) Now() units.Second { return m.now }
+
+// safeOffset returns how far the instantaneous voltage sits below the
+// conservative curve for the domain's current frequency.
+func (m *Machine) safeOffset(d *domain, t units.Second) units.Volt {
+	return d.voltAt(t) - m.cons.VoltageAt(d.freq)
+}
+
+// effExceptionDelay returns the configured #DO entry/exit cost, with a
+// minimum so that zero-cost configs still order events sanely.
+func (m *Machine) effExceptionDelay() units.Second {
+	if m.cfg.ExceptionDelay > 0 {
+		return m.cfg.ExceptionDelay
+	}
+	return units.Second(1e-9)
+}
+
+var _ = math.Inf // keep math import while run.go evolves

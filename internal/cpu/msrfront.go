@@ -1,0 +1,113 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"suit/internal/isa"
+	"suit/internal/msr"
+	"suit/internal/units"
+)
+
+// This file implements the architectural MSR interface of §3.2/§3.3 — the
+// way a real OS would program SUIT, as opposed to the Controller interface
+// strategies use inside simulations. WRMSR to the SUIT registers has the
+// documented side effects, and the hardware interlock (efficient curve
+// only with the faultable set disabled) surfaces as #GP instead of a
+// successful write.
+//
+// The front-end targets machine configuration *between* runs (tooling,
+// tests, interactive exploration); during a simulation the strategy hooks
+// remain the OS.
+
+// ErrGP is the general-protection fault WRMSR raises for an illegal write.
+var ErrGP = errors.New("cpu: #GP")
+
+// WriteMSR performs a WRMSR on the domain's register file with SUIT
+// semantics. Supported registers:
+//
+//   - msr.SUITDisable — value is the opcode disable mask; only the
+//     faultable set (and optionally IMUL) may be disabled.
+//   - msr.SUITCurve — CurveEfficient requires SUITDisable to cover the
+//     full faultable set, else #GP (§3.2: "the CPU ensures that the
+//     efficient curve can only be used if the faultable instructions are
+//     disabled").
+//   - msr.SUITDeadline — arms the deadline timer, in nanosecond ticks;
+//     zero disarms.
+//
+// Other registers accept the raw write without SUIT side effects when the
+// register exists, and fault otherwise.
+func (m *Machine) WriteMSR(domainID int, addr msr.Addr, value uint64) error {
+	if domainID < 0 || domainID >= len(m.domains) {
+		return fmt.Errorf("%w: no domain %d", ErrGP, domainID)
+	}
+	d := m.domains[domainID]
+	switch addr {
+	case msr.SUITDisable:
+		mask := isa.DisableMask(value)
+		allowed := isa.FaultableMask.With(isa.OpIMUL)
+		if mask&^allowed != 0 {
+			return fmt.Errorf("%w: mask %#x disables non-faultable opcodes", ErrGP, value)
+		}
+		d.msrs.Poke(msr.SUITDisable, value)
+		full := mask&isa.FaultableMask == isa.FaultableMask
+		d.disabled = full
+		d.disabledView = full
+		if !full && d.target == ModeE {
+			// Hardware safety: re-enabling instructions while on the
+			// efficient curve forces the conservative curve (the inverse
+			// interlock; a real part would likewise refuse to stay).
+			m.requestTransition(domainID, ModeCv, m.now)
+		}
+		return nil
+	case msr.SUITCurve:
+		switch value {
+		case msr.CurveConservative:
+			d.msrs.Poke(msr.SUITCurve, value)
+			m.requestTransition(domainID, ModeCv, m.now)
+			return nil
+		case msr.CurveEfficient:
+			if !d.disabledView && !m.cfg.AllowUnsafe {
+				return fmt.Errorf("%w: efficient curve with faultable instructions enabled", ErrGP)
+			}
+			d.msrs.Poke(msr.SUITCurve, value)
+			m.requestTransition(domainID, ModeE, m.now)
+			return nil
+		default:
+			return fmt.Errorf("%w: SUITCurve value %d", ErrGP, value)
+		}
+	case msr.SUITDeadline:
+		d.msrs.Poke(msr.SUITDeadline, value)
+		if value == 0 {
+			d.deadlineAt = 0
+			return nil
+		}
+		dur := units.Second(float64(value) * 1e-9)
+		d.deadlineDur = dur
+		d.deadlineAt = m.now + dur
+		return nil
+	default:
+		return d.msrs.Write(addr, value)
+	}
+}
+
+// ReadMSR performs a RDMSR on the domain's register file. Dynamic status
+// registers are synthesised from live machine state.
+func (m *Machine) ReadMSR(domainID int, addr msr.Addr) (uint64, error) {
+	if domainID < 0 || domainID >= len(m.domains) {
+		return 0, fmt.Errorf("%w: no domain %d", ErrGP, domainID)
+	}
+	d := m.domains[domainID]
+	switch addr {
+	case msr.IA32PerfStatus:
+		ratio := uint8(d.freq.GHz() * 10)
+		return msr.EncodePerfStatus(ratio, float64(d.voltAt(m.now))), nil
+	case msr.SUITDisable:
+		if d.disabled {
+			return uint64(isa.FaultableMask), nil
+		}
+		return 0, nil
+	default:
+		return d.msrs.Read(addr)
+	}
+}

@@ -1,0 +1,99 @@
+package cpu
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"suit/internal/dvfs"
+	"suit/internal/isa"
+	"suit/internal/trace"
+	"suit/internal/units"
+)
+
+// TestRandomTracesNeverFaultUnderSUIT is the repository's core safety
+// property: whatever the faultable-instruction pattern, a SUIT machine
+// under the fV policy completes the stream with zero silent faults and a
+// well-formed result.
+func TestRandomTracesNeverFaultUnderSUIT(t *testing.T) {
+	faultable := isa.Faultable()
+	chips := []dvfs.Chip{dvfs.IntelI9_9900K(), dvfs.XeonSilver4208(), dvfs.AMDRyzen7700X()}
+	prop := func(seed uint64, nEvents uint8, chipPick uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		total := uint64(20_000_000 + rng.Uint64N(80_000_000))
+		tr := &trace.Trace{Name: "random", Total: total, IPC: 0.5 + rng.Float64()*2}
+		idx := uint64(0)
+		for i := 0; i < int(nEvents); i++ {
+			// Gap distribution spanning the interesting regimes: from
+			// back-to-back to millions of instructions.
+			idx += 1 + rng.Uint64N(1<<(5+rng.Uint64N(18)))
+			if idx >= total {
+				break
+			}
+			tr.Events = append(tr.Events, trace.Event{
+				Index: idx, Op: faultable[rng.IntN(len(faultable))],
+			})
+		}
+		cfg := testConfig(tr)
+		cfg.Chip = chips[int(chipPick)%len(chips)]
+		res, err := New(cfg, fvLite{deadline: units.Microseconds(30)})
+		if err != nil {
+			return false
+		}
+		out, err := res.Run()
+		if err != nil {
+			return false
+		}
+		if len(out.Faults) != 0 {
+			t.Logf("seed %d: %d faults, first %+v", seed, len(out.Faults), out.Faults[0])
+			return false
+		}
+		// Structural sanity: everything committed, time sane, energy
+		// positive, residencies sum to the duration.
+		if out.Instructions != tr.Total || out.Duration <= 0 || out.Energy <= 0 {
+			return false
+		}
+		var resSum units.Second
+		for _, r := range out.Residency {
+			resSum += r
+		}
+		rel := float64((resSum - out.Duration) / out.Duration)
+		return rel < 1e-6 && rel > -1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMachineMatchesProbePlan cross-validates the machine's transition
+// handling against the standalone dvfs transition planner: a single trap
+// must engage the conservative curve no earlier than the planner's
+// frequency delay and enable no later than its safe point plus the
+// exception cost.
+func TestMachineMatchesProbePlan(t *testing.T) {
+	chip := dvfs.XeonSilver4208()
+	tr := testTrace(400_000_000, 2, 200_000_000)
+	cfg := testConfig(tr)
+	cfg.Chip = chip
+	cfg.RecordTimeline = true
+	res := runWith(t, cfg, fvLite{deadline: units.Microseconds(30)})
+	if len(res.Timeline) < 3 {
+		t.Fatalf("timeline too short: %v", res.Timeline)
+	}
+	// Timeline: [E(init), Cf, Cv, E]. The Cf→Cv request happens one
+	// jittered FreqDelay after the trap (RequestWait for the frequency).
+	cfT := res.Timeline[1].T
+	cvT := res.Timeline[2].T
+	gap := cvT - cfT
+	m := chip.Transition
+	lo := m.FreqDelay - 4*m.FreqDelaySigma
+	hi := m.FreqDelay + 4*m.FreqDelaySigma
+	if gap < lo || gap > hi {
+		t.Errorf("Cf→Cv handler gap = %v, want ≈FreqDelay %v (the wait)", gap, m.FreqDelay)
+	}
+	// The deadline-driven return to E comes after the deadline at least.
+	eT := res.Timeline[3].T
+	if eT-cvT < units.Microseconds(30)-units.Microseconds(1) {
+		t.Errorf("returned to E after %v, before the deadline", eT-cvT)
+	}
+}

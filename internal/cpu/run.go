@@ -1,0 +1,373 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"suit/internal/isa"
+
+	"suit/internal/msr"
+	"suit/internal/units"
+)
+
+// maxSteps bounds the event loop against pathological configurations
+// (e.g. a strategy that neither enables nor emulates, re-trapping the same
+// instruction forever).
+const maxSteps = 200_000_000
+
+// Run executes all traces to completion and returns the result.
+func (m *Machine) Run() (Result, error) {
+	// OS boot: the strategy configures the machine at time zero.
+	m.handlerTime = 0
+	m.strategy.Init(controller{m})
+	// Transitions requested during Init complete instantaneously: the
+	// workload is defined to start on the strategy's initial curve
+	// (the paper's simulations begin in steady state).
+	for _, d := range m.domains {
+		if d.pending != nil {
+			d.freq = d.pending.freqTarget
+			if d.pending.freqTarget == 0 {
+				d.freq = m.pts.Get(d.pending.target).F
+			}
+			d.volt = m.pts.Get(d.pending.target).V
+			d.voltGoal = d.volt
+			d.voltT0, d.voltT1 = 0, 0
+			d.mode = d.pending.target
+			d.pending = nil
+		}
+	}
+	for _, a := range m.scheduled {
+		a.fn()
+	}
+	m.scheduled = m.scheduled[:0]
+	m.handlerTime = 0
+
+	for step := 0; ; step++ {
+		if step >= maxSteps {
+			return Result{}, errors.New("cpu: event-loop step limit exceeded")
+		}
+		t, kind, who := m.nextEvent()
+		if kind == evNone {
+			break
+		}
+		if t < m.now {
+			return Result{}, fmt.Errorf("cpu: time went backwards: %v < %v", t, m.now)
+		}
+		m.advanceTo(t)
+		switch kind {
+		case evSched:
+			a := m.scheduled[who]
+			m.scheduled = append(m.scheduled[:who], m.scheduled[who+1:]...)
+			a.fn()
+		case evFreqApply:
+			m.applyFreq(m.domains[who])
+		case evTransitionEnd:
+			d := m.domains[who]
+			d.mode = d.pending.target
+			d.pending = nil
+		case evDeadline:
+			m.fireDeadline(who)
+		case evStallStart:
+			// No state change: the boundary only segments power/timing.
+			m.domains[who].pending.stallFrom = -1 // consumed as an event
+		case evCoreArrive:
+			m.coreArrive(m.cores[who])
+		case evCoreUnblock:
+			m.cores[who].blockedUntil = 0
+			// The pending (retrying) instruction is handled on the next
+			// iteration via evCoreArrive at the same timestamp.
+		}
+		// The measurement interval ends when the last core commits its
+		// stream; residual transitions or timer events past that point
+		// would otherwise inflate energy and residency totals.
+		if m.allDone() {
+			break
+		}
+	}
+
+	// Finalise.
+	var maxDone units.Second
+	for _, c := range m.cores {
+		m.res.PerCore[c.id] = c.done
+		if c.done > maxDone {
+			maxDone = c.done
+		}
+		m.res.Instructions += c.tr.Total
+	}
+	m.res.Duration = maxDone
+	m.res.Energy = m.meter.Energy()
+	if maxDone > 0 {
+		m.res.AvgPower = units.Watt(float64(m.res.Energy) / float64(maxDone))
+	}
+	m.res.RAPLCounter = m.rapl.Counter()
+	return m.res, nil
+}
+
+// allDone reports whether every core has committed its whole stream.
+func (m *Machine) allDone() bool {
+	for _, c := range m.cores {
+		if !c.finished {
+			return false
+		}
+	}
+	return true
+}
+
+type evKind uint8
+
+const (
+	evNone evKind = iota
+	evSched
+	evFreqApply
+	evTransitionEnd
+	evStallStart
+	evDeadline
+	evCoreArrive
+	evCoreUnblock
+)
+
+// nextEvent returns the earliest pending event.
+func (m *Machine) nextEvent() (units.Second, evKind, int) {
+	best := units.Second(math.Inf(1))
+	kind := evNone
+	who := -1
+	consider := func(t units.Second, k evKind, w int) {
+		if k == evNone || t >= best && kind != evNone {
+			return
+		}
+		best, kind, who = t, k, w
+	}
+	// Deferred handler effects come first so that, at equal timestamps,
+	// an instruction-enable lands before the trapped core retries.
+	for i, a := range m.scheduled {
+		consider(a.t, evSched, i)
+	}
+	for i, d := range m.domains {
+		if p := d.pending; p != nil {
+			if p.freqApply > 0 && p.freqTarget != 0 {
+				if p.stallFrom >= 0 && p.stallFrom > m.now {
+					consider(p.stallFrom, evStallStart, i)
+				}
+				consider(p.freqApply, evFreqApply, i)
+			} else {
+				consider(p.end, evTransitionEnd, i)
+			}
+		}
+		if d.deadlineAt > 0 {
+			consider(d.deadlineAt, evDeadline, i)
+		}
+	}
+	for i, c := range m.cores {
+		if c.finished {
+			continue
+		}
+		if c.blockedUntil > m.now {
+			consider(c.blockedUntil, evCoreUnblock, i)
+			continue
+		}
+		d := m.domainOf(c.id)
+		if d.stalledAt(m.now) {
+			// The core resumes at the frequency application; that event
+			// is already a candidate.
+			continue
+		}
+		nextIdx := c.tr.Total
+		if c.idx < len(c.tr.Events) {
+			nextIdx = c.tr.Events[c.idx].Index
+		}
+		remaining := float64(nextIdx) - c.pos
+		if remaining <= 0 {
+			consider(m.now, evCoreArrive, i)
+			continue
+		}
+		rate := c.tr.IPC * float64(d.freq) / c.rate // instructions/second
+		consider(m.now+units.Second(remaining/rate), evCoreArrive, i)
+	}
+	return best, kind, who
+}
+
+// applyFreq commits a pending frequency change; if the voltage ramp is
+// still outstanding, the transition stays pending until its end.
+func (m *Machine) applyFreq(d *domain) {
+	p := d.pending
+	d.freq = p.freqTarget
+	d.msrs.Poke(msr.IA32PerfStatus,
+		msr.EncodePerfStatus(uint8(d.freq.GHz()*10), float64(d.voltAt(m.now))))
+	p.freqApply = 0
+	p.freqTarget = 0
+	if p.end <= m.now {
+		d.mode = p.target
+		d.pending = nil
+	}
+}
+
+// fireDeadline delivers the timer interrupt to the strategy.
+func (m *Machine) fireDeadline(domainID int) {
+	d := m.domains[domainID]
+	d.deadlineAt = 0
+	m.res.DeadlineFires++
+	m.handlerTime = m.now
+	m.handlerCore = -1
+	m.strategy.OnDeadline(controller{m}, domainID)
+}
+
+// coreArrive processes a core reaching its next trace event (or the end
+// of its stream).
+func (m *Machine) coreArrive(c *core) {
+	if c.idx >= len(c.tr.Events) {
+		// End of stream.
+		c.pos = float64(c.tr.Total)
+		c.finished = true
+		c.done = m.now
+		return
+	}
+	ev := c.tr.Events[c.idx]
+	c.pos = float64(ev.Index)
+	d := m.domainOf(c.id)
+
+	trapped := ev.Op.IsFaultable() || (m.cfg.TrapIMUL && ev.Op == isa.OpIMUL)
+	if d.disabled && trapped {
+		// #DO trap (§3.3). The instruction re-executes after the handler
+		// unless the strategy emulates it.
+		m.res.Exceptions++
+		d.exceptions = append(d.exceptions, m.now)
+		if len(d.exceptions) > 8192 {
+			// Thrashing prevention only looks back a short window; keep
+			// the tail.
+			n := copy(d.exceptions, d.exceptions[len(d.exceptions)-4096:])
+			d.exceptions = d.exceptions[:n]
+		}
+		d.msrs.Poke(msr.SUITDOCount, d.msrs.MustRead(msr.SUITDOCount)+1)
+		c.retry = true
+		m.handlerTime = m.now + m.effExceptionDelay()
+		m.handlerCore = c.id
+		m.strategy.OnDisabledOpcode(controller{m}, m.domainIndexOf(c.id), c.id, ev.Op)
+		m.handlerCore = -1
+		c.blockedUntil = m.handlerTime
+		return
+	}
+
+	// Execute. Safety monitor: a faultable (or IMUL) instruction running
+	// below its margin silently corrupts (§2.3) — SUIT configurations
+	// must never reach this.
+	off := m.safeOffset(d, m.now)
+	if m.cfg.Faults.Faults(ev.Op, off, m.cfg.HardenedIMUL) {
+		m.res.Faults = append(m.res.Faults, FaultRecord{
+			T: m.now, Core: c.id, Op: ev.Op, V: d.voltAt(m.now),
+			Margin: -off - m.cfg.Faults.PhysicalMargin(ev.Op, m.cfg.HardenedIMUL),
+		})
+	}
+	// Hardware deadline reset: executing an instruction that would be
+	// disabled on the efficient curve restarts the count-down (§4.1).
+	if d.deadlineAt > 0 && trapped && !m.cfg.NoDeadlineReset {
+		d.deadlineAt = m.now + d.deadlineDur
+	}
+	c.retry = false
+	c.pos = float64(ev.Index) + 1
+	c.idx++
+	if c.idx >= len(c.tr.Events) && c.pos >= float64(c.tr.Total) {
+		c.finished = true
+		c.done = m.now
+	}
+}
+
+// advanceTo integrates power and residency from m.now to t and moves the
+// clock. Within the segment each domain's frequency and each core's
+// activity are constant; the voltage may be mid-ramp and is integrated
+// analytically.
+func (m *Machine) advanceTo(t units.Second) {
+	dt := t - m.now
+	if dt < 0 {
+		panic("cpu: advanceTo into the past")
+	}
+	if dt == 0 {
+		m.now = t
+		return
+	}
+	// Fixed-grid operating-point sampling (domain 0). The frequency is
+	// constant within a segment; the voltage may be mid-ramp.
+	if iv := m.cfg.SampleEvery; iv > 0 {
+		d0 := m.domains[0]
+		for m.nextSample <= t && len(m.res.Samples) < timelineCap {
+			m.res.Samples = append(m.res.Samples, StateSample{
+				T: m.nextSample, F: d0.freq, V: d0.voltAt(m.nextSample), Mode: d0.mode,
+			})
+			m.nextSample += iv
+		}
+	}
+	pm := m.cfg.Chip.Power
+	exp := pm.VoltExp
+	if exp == 0 {
+		exp = 2
+	}
+	energy := (float64(pm.Uncore) + float64(pm.UncorePerCore)*float64(len(m.cores))) * float64(dt)
+	for _, d := range m.domains {
+		v2 := d.voltPowIntegral(m.now, t, 2)   // ∫V² dt (leakage)
+		ve := d.voltPowIntegral(m.now, t, exp) // ∫Vᵉ dt (dynamic)
+		for _, c := range d.cores {
+			activity := 1.0
+			switch {
+			case c.finished:
+				activity = 0.02
+			case c.blockedUntil > m.now || d.stalledAt(m.now):
+				activity = 0.1
+			}
+			// Core progress for running cores.
+			if activity == 1.0 && !c.finished {
+				rate := c.tr.IPC * float64(d.freq) / c.rate
+				c.pos += rate * float64(dt)
+			}
+			energy += pm.CoreCeff * ve * float64(d.freq) * activity
+			energy += pm.LeakGV * v2
+		}
+		// Residency for the first domain (reports use domain 0).
+		if d == m.domains[0] {
+			mode := d.mode
+			if int(mode) < int(numModes) {
+				m.res.Residency[mode] += dt
+			}
+		}
+	}
+	m.meter.Add(units.Watt(energy/float64(dt)), dt)
+	m.rapl.Deposit(units.Joule(energy))
+	m.now = t
+}
+
+// voltPowIntegral computes ∫ V(τ)ᵉ dτ over [t0, t1] with the domain's
+// piecewise-linear voltage profile. The quadratic case is exact; other
+// exponents use Simpson's rule per linear segment, which is accurate to
+// ~10⁻⁸ relative over the millivolt-scale ramps that occur here.
+func (d *domain) voltPowIntegral(t0, t1 units.Second, exp float64) float64 {
+	total := 0.0
+	segment := func(a, b units.Second) {
+		if b <= a {
+			return
+		}
+		va, vb := float64(d.voltAt(a)), float64(d.voltAt(b))
+		if exp == 2 {
+			// Exact: ∫(va + (vb-va)·s)² = (va² + va·vb + vb²)/3 × length.
+			total += (va*va + va*vb + vb*vb) / 3 * float64(b-a)
+			return
+		}
+		vm := (va + vb) / 2
+		total += (math.Pow(va, exp) + 4*math.Pow(vm, exp) + math.Pow(vb, exp)) / 6 * float64(b-a)
+	}
+	// Split at the ramp boundaries.
+	points := []units.Second{t0, t1}
+	if d.voltT0 > t0 && d.voltT0 < t1 {
+		points = append(points, d.voltT0)
+	}
+	if d.voltT1 > t0 && d.voltT1 < t1 {
+		points = append(points, d.voltT1)
+	}
+	// Simple 4-element sort.
+	for i := 1; i < len(points); i++ {
+		for j := i; j > 0 && points[j] < points[j-1]; j-- {
+			points[j], points[j-1] = points[j-1], points[j]
+		}
+	}
+	for i := 1; i < len(points); i++ {
+		segment(points[i-1], points[i])
+	}
+	return total
+}

@@ -1,0 +1,180 @@
+package dvfs
+
+import (
+	"suit/internal/power"
+	"suit/internal/units"
+)
+
+// The CPU models of the paper's evaluation:
+//
+//	𝒜  Intel Core i9-9900K   — single frequency+voltage domain (§6.2)
+//	ℬ  AMD Ryzen 7 7700X     — per-core frequency domains (§6.2)
+//	𝒞  Intel Xeon Silver 4208 — per-core frequency and voltage domains (§6.2)
+//	   Intel Core i5-1035G1  — TDP-bound laptop part (Table 2 only)
+//
+// Transition delays are the paper's measurements (§5.2, Figs 8–11); the
+// DVFS curve of 𝒜 follows Fig 13 (1.174 V at 5 GHz, 183 mV/GHz gradient
+// from 4 to 5 GHz); curves for the other parts are representative tables.
+//
+// Power models are calibrated against the paper's measured undervolting
+// responses (§5.4, Fig 12, Table 2): the effective voltage exponent 3.5
+// and per-chip Ceff reproduce the measured score/power/frequency changes
+// at −70 mV and −97 mV under each chip's TDP — e.g. on 𝒜 the package
+// draws ≈92 W at the 4.5 GHz all-core SPEC point, gains one p-state of
+// TDP headroom when undervolted, and sheds ≈13 % power.
+
+// IntelI9_9900K returns the CPU 𝒜 model.
+func IntelI9_9900K() Chip {
+	curve := Curve{Name: "i9-9900K", States: []PState{
+		{Ratio: 8, F: units.GHz(0.8), V: 0.760},
+		{Ratio: 16, F: units.GHz(1.6), V: 0.800},
+		{Ratio: 24, F: units.GHz(2.4), V: 0.852},
+		{Ratio: 30, F: units.GHz(3.0), V: 0.896},
+		{Ratio: 36, F: units.GHz(3.6), V: 0.942},
+		{Ratio: 40, F: units.GHz(4.0), V: 0.991},
+		{Ratio: 43, F: units.GHz(4.3), V: 1.046},
+		{Ratio: 45, F: units.GHz(4.5), V: 1.083},
+		{Ratio: 47, F: units.GHz(4.7), V: 1.119},
+		{Ratio: 50, F: units.GHz(5.0), V: 1.174},
+	}}
+	return Chip{
+		Name:    "Intel Core i9-9900K",
+		Cores:   8,
+		Domains: SingleDomain,
+		Transition: TransitionModel{
+			FreqDelay:      units.Microseconds(22),
+			FreqDelaySigma: units.Microseconds(0.21),
+			FreqStall:      units.Microseconds(18),
+			VoltDelay:      units.Microseconds(350),
+			VoltDelaySigma: units.Microseconds(22),
+		},
+		Vendor:   curve,
+		Power:    power.Model{CoreCeff: 1.55e-9, LeakGV: 1.1, Uncore: 2, UncorePerCore: 0.75, VoltExp: 3.5},
+		TDP:      95,
+		BusClock: units.MHz(100),
+		// §5.3 on the i9-9900K: 0.34 µs exception entry, 0.77 µs
+		// emulation call.
+		ExceptionDelay: units.Microseconds(0.34),
+		EmulCallDelay:  units.Microseconds(0.77),
+	}
+}
+
+// AMDRyzen7700X returns the CPU ℬ model.
+func AMDRyzen7700X() Chip {
+	curve := Curve{Name: "Ryzen7-7700X", States: []PState{
+		{Ratio: 8, F: units.GHz(0.8), V: 0.720},
+		{Ratio: 17, F: units.GHz(1.7), V: 0.780},
+		{Ratio: 25, F: units.GHz(2.5), V: 0.840},
+		{Ratio: 30, F: units.GHz(3.0), V: 0.885},
+		{Ratio: 36, F: units.GHz(3.6), V: 0.950},
+		{Ratio: 42, F: units.GHz(4.2), V: 1.040},
+		{Ratio: 45, F: units.GHz(4.5), V: 1.100},
+		{Ratio: 46, F: units.GHz(4.6), V: 1.120},
+		{Ratio: 48, F: units.GHz(4.8), V: 1.210},
+		{Ratio: 50, F: units.GHz(5.0), V: 1.250},
+		{Ratio: 54, F: units.GHz(5.4), V: 1.300},
+	}}
+	return Chip{
+		Name:    "AMD Ryzen 7 7700X",
+		Cores:   8,
+		Domains: PerCoreFreq,
+		Transition: TransitionModel{
+			// Fig 10: 668 µs mean, σ = 292 µs, the core does not stall.
+			FreqDelay:      units.Microseconds(668),
+			FreqDelaySigma: units.Microseconds(292),
+			FreqStall:      0,
+			// No software voltage control (curve optimizer is static);
+			// modelled as a slow firmware-mediated change.
+			VoltDelay:      units.Milliseconds(1),
+			VoltDelaySigma: units.Microseconds(100),
+		},
+		Vendor:   curve,
+		Power:    power.Model{CoreCeff: 1.60e-9, LeakGV: 1.0, Uncore: 4, UncorePerCore: 1, VoltExp: 3.5},
+		TDP:      105,
+		BusClock: units.MHz(100),
+		// §5.3 on the 7700X: 0.11 µs exception entry, 0.27 µs emulation
+		// call — the short delays that make emulation comparatively
+		// attractive on ℬ (§6.8).
+		ExceptionDelay: units.Microseconds(0.11),
+		EmulCallDelay:  units.Microseconds(0.27),
+	}
+}
+
+// XeonSilver4208 returns the CPU 𝒞 model.
+func XeonSilver4208() Chip {
+	curve := Curve{Name: "XeonSilver-4208", States: []PState{
+		{Ratio: 8, F: units.GHz(0.8), V: 0.700},
+		{Ratio: 12, F: units.GHz(1.2), V: 0.730},
+		{Ratio: 16, F: units.GHz(1.6), V: 0.762},
+		{Ratio: 21, F: units.GHz(2.1), V: 0.810},
+		{Ratio: 24, F: units.GHz(2.4), V: 0.848},
+		{Ratio: 28, F: units.GHz(2.8), V: 0.905},
+		{Ratio: 30, F: units.GHz(3.0), V: 0.940},
+		{Ratio: 31, F: units.GHz(3.1), V: 0.960},
+		{Ratio: 32, F: units.GHz(3.2), V: 1.040},
+	}}
+	return Chip{
+		Name:    "Intel Xeon Silver 4208",
+		Cores:   8,
+		Domains: PerCoreBoth,
+		Transition: TransitionModel{
+			// Fig 11: p-state changes always apply voltage first
+			// (335 µs, σ = 135) then frequency (31 µs, σ = 2.3) during
+			// which the core stalls for 27 µs (σ = 2.5).
+			FreqDelay:      units.Microseconds(31),
+			FreqDelaySigma: units.Microseconds(2.3),
+			FreqStall:      units.Microseconds(27),
+			VoltDelay:      units.Microseconds(335),
+			VoltDelaySigma: units.Microseconds(135),
+			VoltFirst:      true,
+		},
+		Vendor:   curve,
+		Power:    power.Model{CoreCeff: 3.05e-9, LeakGV: 1.3, Uncore: 4, UncorePerCore: 1.25, VoltExp: 3.5},
+		TDP:      85,
+		BusClock: units.MHz(100),
+		// The paper measures trap delays on the client Intel part; the
+		// Xeon shares the microarchitectural lineage.
+		ExceptionDelay: units.Microseconds(0.34),
+		EmulCallDelay:  units.Microseconds(0.77),
+	}
+}
+
+// IntelI5_1035G1 returns the laptop part of Table 2: a strongly TDP-bound
+// chip where undervolting barely changes the package power (it stays
+// pinned at the limit) but buys a large sustained-frequency increase —
+// score +7.9 %, power −0.5 %, frequency +12 % at −97 mV in the paper.
+func IntelI5_1035G1() Chip {
+	curve := Curve{Name: "i5-1035G1", States: []PState{
+		{Ratio: 4, F: units.GHz(0.4), V: 0.620},
+		{Ratio: 8, F: units.GHz(0.8), V: 0.650},
+		{Ratio: 12, F: units.GHz(1.2), V: 0.680},
+		{Ratio: 16, F: units.GHz(1.6), V: 0.720},
+		{Ratio: 20, F: units.GHz(2.0), V: 0.760},
+		{Ratio: 22, F: units.GHz(2.2), V: 0.785},
+		{Ratio: 23, F: units.GHz(2.3), V: 0.810},
+		{Ratio: 24, F: units.GHz(2.4), V: 0.870},
+		{Ratio: 26, F: units.GHz(2.6), V: 0.900},
+		{Ratio: 28, F: units.GHz(2.8), V: 0.920},
+		{Ratio: 30, F: units.GHz(3.0), V: 0.940},
+		{Ratio: 33, F: units.GHz(3.3), V: 0.965},
+		{Ratio: 36, F: units.GHz(3.6), V: 1.000},
+	}}
+	return Chip{
+		Name:    "Intel Core i5-1035G1",
+		Cores:   4,
+		Domains: SingleDomain,
+		Transition: TransitionModel{
+			FreqDelay:      units.Microseconds(25),
+			FreqDelaySigma: units.Microseconds(1),
+			FreqStall:      units.Microseconds(15),
+			VoltDelay:      units.Microseconds(300),
+			VoltDelaySigma: units.Microseconds(30),
+		},
+		Vendor:         curve,
+		Power:          power.Model{CoreCeff: 3.1e-9, LeakGV: 0.6, Uncore: 1, UncorePerCore: 0.25, VoltExp: 3.5},
+		TDP:            13,
+		BusClock:       units.MHz(100),
+		ExceptionDelay: units.Microseconds(0.30),
+		EmulCallDelay:  units.Microseconds(0.70),
+	}
+}

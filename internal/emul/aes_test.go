@@ -1,0 +1,158 @@
+package emul
+
+import (
+	"bytes"
+	"crypto/aes"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSboxCTMatchesTable(t *testing.T) {
+	for x := 0; x < 256; x++ {
+		got := sboxCT(byte(x))
+		want := sboxTable[x]
+		if got != want {
+			t.Errorf("sboxCT(%#02x) = %#02x, want %#02x", x, got, want)
+		}
+	}
+}
+
+func TestGmulProperties(t *testing.T) {
+	// Identity, zero, commutativity, distributivity over a sample.
+	for a := 0; a < 256; a += 7 {
+		if gmul(byte(a), 1) != byte(a) {
+			t.Errorf("gmul(%d,1) != %d", a, a)
+		}
+		if gmul(byte(a), 0) != 0 {
+			t.Errorf("gmul(%d,0) != 0", a)
+		}
+		for b := 0; b < 256; b += 11 {
+			if gmul(byte(a), byte(b)) != gmul(byte(b), byte(a)) {
+				t.Errorf("gmul not commutative at %d,%d", a, b)
+			}
+			for c := 0; c < 256; c += 37 {
+				left := gmul(byte(a), byte(b)^byte(c))
+				right := gmul(byte(a), byte(b)) ^ gmul(byte(a), byte(c))
+				if left != right {
+					t.Errorf("gmul not distributive at %d,%d,%d", a, b, c)
+				}
+			}
+		}
+	}
+	// xtime is gmul by 2.
+	for a := 0; a < 256; a++ {
+		if xtime(byte(a)) != gmul(byte(a), 2) {
+			t.Errorf("xtime(%d) != gmul(%d,2)", a, a)
+		}
+	}
+}
+
+func TestGF256InverseProperty(t *testing.T) {
+	// sboxCT's core is x^254 = x⁻¹; check gmul(x, x^254) == 1 for x ≠ 0
+	// indirectly: the affine transform is a bijection, so instead verify
+	// the S-box is a bijection (it is iff the inversion is correct).
+	var seen [256]bool
+	for x := 0; x < 256; x++ {
+		s := sboxCT(byte(x))
+		if seen[s] {
+			t.Fatalf("sboxCT not a bijection: duplicate output %#02x", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestAESENCMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 200; i++ {
+		state := Vec128{rng.Uint64(), rng.Uint64()}
+		key := Vec128{rng.Uint64(), rng.Uint64()}
+		got := AESENC(state, key)
+		want := aesencRef(state, key)
+		if got != want {
+			t.Fatalf("AESENC(%v, %v) = %v, want %v", state, key, got, want)
+		}
+	}
+}
+
+func TestEncryptAES128AgainstFIPS197(t *testing.T) {
+	// FIPS-197 Appendix B vector.
+	key := [16]byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	plain := [16]byte{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34}
+	want := [16]byte{0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32}
+	got := EncryptAES128(key, plain)
+	if got != want {
+		t.Fatalf("EncryptAES128 = %x, want %x", got, want)
+	}
+}
+
+func TestEncryptAES128AgainstStdlib(t *testing.T) {
+	prop := func(key, block [16]byte) bool {
+		c, err := aes.NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		want := make([]byte, 16)
+		c.Encrypt(want, block[:])
+		got := EncryptAES128(key, block)
+		return bytes.Equal(got[:], want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAESENCLASTDiffersFromAESENC(t *testing.T) {
+	state := Vec128{0x0123456789abcdef, 0xfedcba9876543210}
+	key := Vec128{0x1111111111111111, 0x2222222222222222}
+	if AESENC(state, key) == AESENCLAST(state, key) {
+		t.Error("AESENC and AESENCLAST agree; MixColumns is missing")
+	}
+}
+
+func TestShiftRowsStructure(t *testing.T) {
+	// Row 0 is unchanged; row r moves column c+r → c.
+	var in [16]byte
+	for i := range in {
+		in[i] = byte(i)
+	}
+	out := shiftRows(in)
+	// Row 0 (bytes 0,4,8,12) unchanged.
+	for c := 0; c < 4; c++ {
+		if out[4*c] != in[4*c] {
+			t.Errorf("row 0 changed at col %d", c)
+		}
+	}
+	// Row 1: out[4c+1] = in[4(c+1 mod 4)+1].
+	for c := 0; c < 4; c++ {
+		want := in[4*((c+1)%4)+1]
+		if out[4*c+1] != want {
+			t.Errorf("row 1 col %d = %d, want %d", c, out[4*c+1], want)
+		}
+	}
+}
+
+func TestMixColumnsKnownVector(t *testing.T) {
+	// FIPS-197 example column: db 13 53 45 → 8e 4d a1 bc.
+	in := [16]byte{0xdb, 0x13, 0x53, 0x45}
+	out := mixColumns(in)
+	want := [4]byte{0x8e, 0x4d, 0xa1, 0xbc}
+	for i := 0; i < 4; i++ {
+		if out[i] != want[i] {
+			t.Errorf("mixColumns[%d] = %#02x, want %#02x", i, out[i], want[i])
+		}
+	}
+}
+
+func TestExpandKeyFirstAndLastRound(t *testing.T) {
+	// FIPS-197 Appendix A: round 10 key for the sample key.
+	key := [16]byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	rk := ExpandKeyAES128(key)
+	if rk[0] != FromBytes(key) {
+		t.Error("round key 0 must be the cipher key")
+	}
+	want10 := [16]byte{0xd0, 0x14, 0xf9, 0xa8, 0xc9, 0xee, 0x25, 0x89, 0xe1, 0x3f, 0x0c, 0xc8, 0xb6, 0x63, 0x0c, 0xa6}
+	if rk[10] != FromBytes(want10) {
+		t.Errorf("round key 10 = %x, want %x", rk[10].Bytes(), want10)
+	}
+}

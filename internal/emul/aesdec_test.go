@@ -1,0 +1,74 @@
+package emul
+
+import (
+	"bytes"
+	"crypto/aes"
+	"testing"
+	"testing/quick"
+)
+
+func TestInvSboxInvertsSbox(t *testing.T) {
+	for x := 0; x < 256; x++ {
+		if got := invSboxCT(sboxCT(byte(x))); got != byte(x) {
+			t.Errorf("invSbox(sbox(%#02x)) = %#02x", x, got)
+		}
+		if got := sboxCT(invSboxCT(byte(x))); got != byte(x) {
+			t.Errorf("sbox(invSbox(%#02x)) = %#02x", x, got)
+		}
+	}
+}
+
+func TestInvShiftRowsInvertsShiftRows(t *testing.T) {
+	var in [16]byte
+	for i := range in {
+		in[i] = byte(i * 7)
+	}
+	if got := invShiftRows(shiftRows(in)); got != in {
+		t.Errorf("invShiftRows(shiftRows(x)) = %x", got)
+	}
+	if got := shiftRows(invShiftRows(in)); got != in {
+		t.Errorf("shiftRows(invShiftRows(x)) = %x", got)
+	}
+}
+
+func TestInvMixColumnsInvertsMixColumns(t *testing.T) {
+	prop := func(in [16]byte) bool {
+		return invMixColumns(mixColumns(in)) == in && mixColumns(invMixColumns(in)) == in
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecryptInvertsEncrypt(t *testing.T) {
+	prop := func(key, block [16]byte) bool {
+		return DecryptAES128(key, EncryptAES128(key, block)) == block
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecryptAES128AgainstStdlib(t *testing.T) {
+	prop := func(key, ct [16]byte) bool {
+		c, err := aes.NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		want := make([]byte, 16)
+		c.Decrypt(want, ct[:])
+		got := DecryptAES128(key, ct)
+		return bytes.Equal(got[:], want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAESDECLASTDiffersFromAESDEC(t *testing.T) {
+	state := Vec128{0x0123456789abcdef, 0xfedcba9876543210}
+	key := Vec128{0x1111111111111111, 0x2222222222222222}
+	if AESDEC(state, key) == AESDECLAST(state, key) {
+		t.Error("AESDEC and AESDECLAST agree; InvMixColumns is missing")
+	}
+}

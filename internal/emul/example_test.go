@@ -1,0 +1,35 @@
+package emul_test
+
+import (
+	"fmt"
+
+	"suit/internal/emul"
+)
+
+// The constant-time AES emulation reproduces the FIPS-197 Appendix B
+// vector — the computation a #DO handler would run in place of AESENC.
+func ExampleEncryptAES128() {
+	key := [16]byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	plain := [16]byte{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34}
+	fmt.Printf("%x\n", emul.EncryptAES128(key, plain))
+	// Output:
+	// 3925841d02dc09fbdc118597196a0b32
+}
+
+// Full AES-GCM sealed with the emulated instruction set (AESENC rounds +
+// VPCLMULQDQ GHASH) — the operation inside nginx's TLS records.
+func ExampleSealAESGCM() {
+	var key [16]byte
+	var nonce [12]byte
+	sealed, err := emul.SealAESGCM(key, nonce, []byte("hi"), nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d bytes (2 ciphertext + 16 tag)\n", len(sealed))
+	pt, err := emul.OpenAESGCM(key, nonce, sealed, nil)
+	fmt.Printf("%s %v\n", pt, err)
+	// Output:
+	// 18 bytes (2 ciphertext + 16 tag)
+	// hi <nil>
+}

@@ -1,0 +1,128 @@
+package emul
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"testing"
+	"testing/quick"
+)
+
+func stdlibSeal(t testing.TB, key [16]byte, nonce [12]byte, pt, aad []byte) []byte {
+	t.Helper()
+	c, err := aes.NewCipher(key[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cipher.NewGCM(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Seal(nil, nonce[:], pt, aad)
+}
+
+func TestGhashMulFieldProperties(t *testing.T) {
+	// The GCM "one" element is 0x80 followed by zeros (coefficient of x⁰
+	// is the MSB of byte 0).
+	var one gcmBlock
+	one[0] = 0x80
+	prop := func(raw [16]byte, raw2 [16]byte) bool {
+		a, b := gcmBlock(raw), gcmBlock(raw2)
+		// Identity and commutativity.
+		if ghashMul(a, one) != a {
+			return false
+		}
+		return ghashMul(a, b) == ghashMul(b, a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	// Zero annihilates.
+	var zero gcmBlock
+	if ghashMul(gcmBlock{0xde, 0xad}, zero) != zero {
+		t.Error("multiplication by zero not zero")
+	}
+}
+
+func TestPolyRoundTrip(t *testing.T) {
+	prop := func(raw [16]byte) bool {
+		lo, hi := toPoly(gcmBlock(raw))
+		return fromPoly(lo, hi) == gcmBlock(raw)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSealMatchesStdlibGCM(t *testing.T) {
+	key := [16]byte{0xfe, 0xff, 0xe9, 0x92, 0x86, 0x65, 0x73, 0x1c, 0x6d, 0x6a, 0x8f, 0x94, 0x67, 0x30, 0x83, 0x08}
+	nonce := [12]byte{0xca, 0xfe, 0xba, 0xbe, 0xfa, 0xce, 0xdb, 0xad, 0xde, 0xca, 0xf8, 0x88}
+	for _, tc := range []struct {
+		pt, aad []byte
+	}{
+		{nil, nil},
+		{[]byte("hello SUIT"), nil},
+		{bytes.Repeat([]byte{0x42}, 64), []byte("header")},
+		{bytes.Repeat([]byte{0x01}, 61), []byte("odd-length aad!")}, // non-block-aligned
+		{make([]byte, 257), nil},
+	} {
+		got, err := SealAESGCM(key, nonce, tc.pt, tc.aad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := stdlibSeal(t, key, nonce, tc.pt, tc.aad)
+		if !bytes.Equal(got, want) {
+			t.Errorf("seal(%d bytes pt, %d aad):\n got %x\nwant %x", len(tc.pt), len(tc.aad), got, want)
+		}
+	}
+}
+
+func TestSealMatchesStdlibProperty(t *testing.T) {
+	prop := func(key [16]byte, nonce [12]byte, pt, aad []byte) bool {
+		if len(pt) > 512 {
+			pt = pt[:512]
+		}
+		got, err := SealAESGCM(key, nonce, pt, aad)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, stdlibSeal(t, key, nonce, pt, aad))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpenRoundTripAndAuth(t *testing.T) {
+	key := [16]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	nonce := [12]byte{9, 9, 9}
+	pt := []byte("the efficient curve is only legal with the faultable set disabled")
+	aad := []byte("record header")
+	sealed, err := SealAESGCM(key, nonce, pt, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenAESGCM(key, nonce, sealed, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatalf("round trip: %q", got)
+	}
+	// Any single bit flip must fail authentication.
+	for _, pos := range []int{0, len(sealed) / 2, len(sealed) - 1} {
+		tampered := append([]byte(nil), sealed...)
+		tampered[pos] ^= 0x40
+		if _, err := OpenAESGCM(key, nonce, tampered, aad); err == nil {
+			t.Errorf("tampering at %d went undetected", pos)
+		}
+	}
+	// Wrong AAD fails too.
+	if _, err := OpenAESGCM(key, nonce, sealed, []byte("other")); err == nil {
+		t.Error("wrong AAD accepted")
+	}
+	// Truncated input rejected.
+	if _, err := OpenAESGCM(key, nonce, sealed[:10], aad); err == nil {
+		t.Error("short input accepted")
+	}
+}

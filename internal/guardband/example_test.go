@@ -1,0 +1,22 @@
+package guardband_test
+
+import (
+	"fmt"
+
+	"suit/internal/guardband"
+	"suit/internal/isa"
+)
+
+// The vendor curve-determination procedure of §3.5: disabling the
+// faultable set and hardening IMUL certifies the −70 mV efficient curve;
+// spending 20 % of the aging guardband deepens it to ≈−97 mV.
+func ExampleModel_EfficientOffset() {
+	m := guardband.Default()
+	fmt.Println("stock CPU:   ", m.EfficientOffset(0, false, false))
+	fmt.Println("SUIT:        ", m.EfficientOffset(isa.FaultableMask, true, false))
+	fmt.Println("SUIT + aging:", m.EfficientOffset(isa.FaultableMask, true, true))
+	// Output:
+	// stock CPU:    -12 mV
+	// SUIT:         -70 mV
+	// SUIT + aging: -97 mV
+}

@@ -1,0 +1,91 @@
+package guardband
+
+import (
+	"errors"
+	"math/rand/v2"
+
+	"suit/internal/isa"
+	"suit/internal/units"
+)
+
+// Per-core process variation. Murdoch et al. and Kogler et al. observed
+// that fault voltages differ not only between instructions but between
+// CPUs and even between cores of one CPU (§3.1). A vendor certifying one
+// efficient curve for the whole package must therefore use the *weakest*
+// core's margins; a hypothetical per-core-curve SUIT could undervolt the
+// stronger cores deeper — quantified by PerCoreHeadroom.
+
+// PerCoreModels derives n per-core margin models from a base model by
+// jittering every instruction margin with core-specific offsets of the
+// given sigma (deterministic in seed). Margins are clamped to stay
+// positive and below the background variation (the faultable set must
+// remain faultable).
+func PerCoreModels(base *Model, n int, sigma units.Volt, seed uint64) ([]*Model, error) {
+	if n < 1 {
+		return nil, errors.New("guardband: need at least one core")
+	}
+	if sigma < 0 {
+		return nil, errors.New("guardband: negative sigma")
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0xc0ffee))
+	// Fixed iteration order keeps the derivation deterministic in seed.
+	ops := make([]isa.Opcode, 0, len(base.VariationMargin))
+	for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
+		if _, ok := base.VariationMargin[op]; ok {
+			ops = append(ops, op)
+		}
+	}
+	out := make([]*Model, n)
+	for c := 0; c < n; c++ {
+		m := *base // shallow copy; rebuild the margin map
+		m.VariationMargin = make(map[isa.Opcode]units.Volt, len(ops))
+		// One core-wide shift plus small per-instruction jitter: process
+		// variation moves whole cores more than individual paths. The
+		// core shift moves the background variation too — the quantity
+		// that sets the certified offset, so weak cores cap the package.
+		coreShift := units.Volt(rng.NormFloat64()) * sigma
+		m.BackgroundVariation = base.BackgroundVariation + coreShift
+		for _, op := range ops {
+			v := base.VariationMargin[op]
+			jittered := v + coreShift + units.Volt(rng.NormFloat64())*sigma/4
+			if min := v / 4; jittered < min {
+				jittered = min
+			}
+			if max := m.BackgroundVariation - units.MilliVolts(1); jittered > max && op != isa.OpIMUL {
+				jittered = max
+			}
+			m.VariationMargin[op] = jittered
+		}
+		out[c] = &m
+	}
+	return out, nil
+}
+
+// WeakestOffset returns the efficient-curve offset the vendor can certify
+// for the whole package: the shallowest per-core offset. This is how the
+// §3.5 procedure extends to multi-core parts with variation.
+func WeakestOffset(cores []*Model, disabled isa.DisableMask, hardenedIMUL, spendAging bool) units.Volt {
+	if len(cores) == 0 {
+		return 0
+	}
+	weakest := cores[0].EfficientOffset(disabled, hardenedIMUL, spendAging)
+	for _, m := range cores[1:] {
+		if off := m.EfficientOffset(disabled, hardenedIMUL, spendAging); off > weakest {
+			weakest = off
+		}
+	}
+	return weakest
+}
+
+// PerCoreHeadroom reports, per core, how much deeper that core could be
+// undervolted than the package-wide certification allows — the gain a
+// per-core-curve extension of SUIT would harvest on parts with per-core
+// voltage domains.
+func PerCoreHeadroom(cores []*Model, disabled isa.DisableMask, hardenedIMUL, spendAging bool) []units.Volt {
+	pkg := WeakestOffset(cores, disabled, hardenedIMUL, spendAging)
+	out := make([]units.Volt, len(cores))
+	for i, m := range cores {
+		out[i] = pkg - m.EfficientOffset(disabled, hardenedIMUL, spendAging)
+	}
+	return out
+}

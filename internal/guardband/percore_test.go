@@ -1,0 +1,114 @@
+package guardband
+
+import (
+	"testing"
+
+	"suit/internal/isa"
+	"suit/internal/units"
+)
+
+func TestPerCoreModelsValidityAndSpread(t *testing.T) {
+	base := Default()
+	cores, err := PerCoreModels(base, 8, units.MilliVolts(8), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cores) != 8 {
+		t.Fatalf("%d cores", len(cores))
+	}
+	differ := false
+	for i, m := range cores {
+		if err := m.Validate(); err != nil {
+			t.Errorf("core %d model invalid: %v", i, err)
+		}
+		if m.Margin(isa.OpAESENC, false) != base.Margin(isa.OpAESENC, false) {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Error("no per-core variation generated")
+	}
+	// The base model is untouched.
+	if base.Margin(isa.OpAESENC, false) != Default().Margin(isa.OpAESENC, false) {
+		t.Error("PerCoreModels mutated the base model")
+	}
+	// Deterministic per seed.
+	again, _ := PerCoreModels(base, 8, units.MilliVolts(8), 1)
+	for i := range cores {
+		if cores[i].Margin(isa.OpVOR, false) != again[i].Margin(isa.OpVOR, false) {
+			t.Fatal("per-core derivation not deterministic")
+		}
+	}
+}
+
+func TestPerCoreModelsValidation(t *testing.T) {
+	if _, err := PerCoreModels(Default(), 0, 0, 1); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := PerCoreModels(Default(), 2, units.MilliVolts(-1), 1); err == nil {
+		t.Error("negative sigma accepted")
+	}
+}
+
+func TestWeakestOffsetGovernsThePackage(t *testing.T) {
+	cores, err := PerCoreModels(Default(), 8, units.MilliVolts(10), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := WeakestOffset(cores, isa.FaultableMask, true, true)
+	// The package offset must be safe on every core: no enabled
+	// instruction faults at pkg anywhere.
+	for i, m := range cores {
+		for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
+			if op == isa.OpNop || isa.FaultableMask.Has(op) {
+				continue
+			}
+			if m.Faults(op, pkg, true) {
+				t.Errorf("core %d: %v faults at the package offset %v", i, op, pkg)
+			}
+		}
+	}
+	// And it must equal some core's own offset (the weakest).
+	found := false
+	for _, m := range cores {
+		if m.EfficientOffset(isa.FaultableMask, true, true) == pkg {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("package offset matches no core")
+	}
+	if WeakestOffset(nil, isa.FaultableMask, true, true) != 0 {
+		t.Error("empty core list should give 0")
+	}
+}
+
+func TestPerCoreHeadroom(t *testing.T) {
+	cores, err := PerCoreModels(Default(), 8, units.MilliVolts(10), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := PerCoreHeadroom(cores, isa.FaultableMask, true, true)
+	if len(head) != 8 {
+		t.Fatalf("%d entries", len(head))
+	}
+	anyPositive := false
+	zeroSeen := false
+	for i, h := range head {
+		if h < -1e-12 {
+			t.Errorf("core %d has negative headroom %v", i, h)
+		}
+		if h > units.MilliVolts(1) {
+			anyPositive = true
+		}
+		if h < units.MilliVolts(0.001) {
+			zeroSeen = true
+		}
+	}
+	if !anyPositive {
+		t.Error("no core has headroom over the weakest; variation lost")
+	}
+	if !zeroSeen {
+		t.Error("the weakest core itself must have ≈zero headroom")
+	}
+}

@@ -1,0 +1,27 @@
+package isa_test
+
+import (
+	"fmt"
+
+	"suit/internal/isa"
+)
+
+// The faultable set SUIT disables on the efficient curve (Table 1 minus
+// the statically hardened IMUL).
+func ExampleFaultable() {
+	for _, op := range isa.Faultable() {
+		fmt.Println(op)
+	}
+	// Output:
+	// VOR
+	// AESENC
+	// VXOR
+	// VANDN
+	// VAND
+	// VSQRTPD
+	// VPCLMULQDQ
+	// VPSRAD
+	// VPCMP
+	// VPMAX
+	// VPADDQ
+}

@@ -1,0 +1,16 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"suit/internal/metrics"
+)
+
+// The efficiency algebra of §5.4: finishing in half the time at half the
+// power quadruples the efficiency.
+func ExampleChange_Efficiency() {
+	c := metrics.Change{Perf: 1.0, Power: -0.5}
+	fmt.Printf("%+.0f %%\n", c.Efficiency()*100)
+	// Output:
+	// +300 %
+}

@@ -1,0 +1,106 @@
+// Package metrics provides the aggregation math of the paper's evaluation:
+// geometric means over relative changes (how SPEC scores are summarised),
+// medians, standard deviations, and the efficiency algebra of §5.4 — the
+// efficiency change is one over the change in duration multiplied by the
+// change in power.
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Geomean returns the geometric mean of positive values.
+func Geomean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("metrics: geomean of empty set")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("metrics: geomean requires positive values")
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// GeomeanChange aggregates relative changes (e.g. −0.02 for 2 % slower) by
+// the geometric mean of their ratios (1 + change).
+func GeomeanChange(changes []float64) (float64, error) {
+	ratios := make([]float64, len(changes))
+	for i, c := range changes {
+		ratios[i] = 1 + c
+	}
+	g, err := Geomean(ratios)
+	if err != nil {
+		return 0, err
+	}
+	return g - 1, nil
+}
+
+// Median returns the median (mean of the central pair for even lengths).
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("metrics: median of empty set")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2], nil
+	}
+	return (s[n/2-1] + s[n/2]) / 2, nil
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("metrics: mean of empty set")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator).
+func StdDev(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, errors.New("metrics: stddev needs at least two values")
+	}
+	m, _ := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)-1)), nil
+}
+
+// Change is a relative comparison of a run against its baseline.
+type Change struct {
+	// Perf is the score change: +0.02 = 2 % faster (duration shrank).
+	Perf float64
+	// Power is the average-power change: −0.10 = 10 % less power.
+	Power float64
+}
+
+// Efficiency computes the paper's efficiency change: with relative
+// duration d and relative power p, efficiency changes by 1/(d·p) − 1
+// (§5.4: half the time at half the power = 4× the efficiency).
+func (c Change) Efficiency() float64 {
+	relDur := 1 / (1 + c.Perf)
+	relPow := 1 + c.Power
+	return 1/(relDur*relPow) - 1
+}
+
+// NewChange derives a Change from absolute durations and powers.
+func NewChange(baseDur, dur, basePower, power float64) Change {
+	return Change{
+		Perf:  baseDur/dur - 1,
+		Power: power/basePower - 1,
+	}
+}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestGeomean(t *testing.T) {
+	if g, err := Geomean([]float64{1, 4}); err != nil || !approx(g, 2) {
+		t.Errorf("Geomean(1,4) = %v, %v", g, err)
+	}
+	if g, err := Geomean([]float64{8}); err != nil || !approx(g, 8) {
+		t.Errorf("Geomean(8) = %v, %v", g, err)
+	}
+	if _, err := Geomean(nil); err == nil {
+		t.Error("empty geomean accepted")
+	}
+	if _, err := Geomean([]float64{1, -2}); err == nil {
+		t.Error("negative geomean accepted")
+	}
+	if _, err := Geomean([]float64{0}); err == nil {
+		t.Error("zero geomean accepted")
+	}
+}
+
+func TestGeomeanChange(t *testing.T) {
+	// +100 % and −50 % cancel.
+	if c, err := GeomeanChange([]float64{1, -0.5}); err != nil || !approx(c, 0) {
+		t.Errorf("GeomeanChange = %v, %v", c, err)
+	}
+	if _, err := GeomeanChange([]float64{-1}); err == nil {
+		t.Error("−100 % change accepted (ratio 0)")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m, _ := Median([]float64{3, 1, 2}); !approx(m, 2) {
+		t.Errorf("odd median = %v", m)
+	}
+	if m, _ := Median([]float64{4, 1, 3, 2}); !approx(m, 2.5) {
+		t.Errorf("even median = %v", m)
+	}
+	if _, err := Median(nil); err == nil {
+		t.Error("empty median accepted")
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 {
+		t.Error("Median sorted the caller's slice")
+	}
+}
+
+func TestMeanAndStdDev(t *testing.T) {
+	if m, _ := Mean([]float64{1, 2, 3}); !approx(m, 2) {
+		t.Errorf("mean = %v", m)
+	}
+	if _, err := Mean(nil); err == nil {
+		t.Error("empty mean accepted")
+	}
+	if s, _ := StdDev([]float64{2, 4}); !approx(s, math.Sqrt2) {
+		t.Errorf("stddev = %v", s)
+	}
+	if _, err := StdDev([]float64{1}); err == nil {
+		t.Error("single-value stddev accepted")
+	}
+}
+
+func TestEfficiencyPaperExample(t *testing.T) {
+	// §5.4: finishing in half the time (score +100 %) at half the power
+	// (power −50 %) quadruples the efficiency (+300 %).
+	c := Change{Perf: 1.0, Power: -0.5}
+	if got := c.Efficiency(); !approx(got, 3.0) {
+		t.Errorf("efficiency = %v, want 3.0", got)
+	}
+}
+
+func TestEfficiencyNeutral(t *testing.T) {
+	if got := (Change{}).Efficiency(); !approx(got, 0) {
+		t.Errorf("neutral efficiency = %v", got)
+	}
+	// Power drop with no perf change: efficiency = 1/(1·0.84) − 1.
+	c := Change{Power: -0.16}
+	if got := c.Efficiency(); !approx(got, 1/0.84-1) {
+		t.Errorf("efficiency = %v", got)
+	}
+}
+
+func TestNewChange(t *testing.T) {
+	// Base 10 s @ 100 W; run 8 s @ 90 W.
+	c := NewChange(10, 8, 100, 90)
+	if !approx(c.Perf, 0.25) {
+		t.Errorf("perf = %v, want +25%%", c.Perf)
+	}
+	if !approx(c.Power, -0.10) {
+		t.Errorf("power = %v, want −10%%", c.Power)
+	}
+	// Efficiency: duration ×0.8, power ×0.9 → 1/(0.72) − 1 ≈ +38.9 %.
+	if got := c.Efficiency(); !approx(got, 1/0.72-1) {
+		t.Errorf("efficiency = %v", got)
+	}
+}
+
+func TestEfficiencyConsistencyProperty(t *testing.T) {
+	prop := func(rawD, rawP uint16) bool {
+		dur := 0.5 + float64(rawD%1000)/1000 // 0.5..1.5 relative duration
+		pow := 0.5 + float64(rawP%1000)/1000 // relative power
+		c := NewChange(1, dur, 1, pow)
+		want := 1/(dur*pow) - 1
+		return math.Abs(c.Efficiency()-want) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,209 @@
+// Package msr models the model-specific-register interface through which
+// the OS half of SUIT drives the hardware half: the existing DVFS MSRs the
+// paper measures with (IA32_PERF_CTL/STATUS, the undocumented voltage-
+// offset MSR 0x150, APERF/MPERF), and the three new architectural MSRs
+// SUIT introduces (§3.2, §3.3): opcode disable, curve select and the
+// deadline timer.
+//
+// The register file is per logical domain (the CPU simulator instantiates
+// one per core for per-core-domain CPUs, or one per package). Writes can
+// carry side effects via hooks, which is how the DVFS machinery reacts to
+// p-state requests with realistic delays.
+package msr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Addr is an MSR address.
+type Addr uint32
+
+// Architectural MSRs used by the paper's measurements, plus the SUIT MSRs.
+const (
+	// IA32MPerf counts at a fixed reference rate; IA32APerf counts at the
+	// actual core clock. Their ratio yields the effective frequency
+	// (§5.2 measures frequency-change delays this way).
+	IA32MPerf Addr = 0xE7
+	IA32APerf Addr = 0xE8
+	// IA32PerfStatus reports the current p-state; bits 47:32 hold the
+	// core voltage in 1/8192 V units on Intel parts (§5.5 reads it).
+	IA32PerfStatus Addr = 0x198
+	// IA32PerfCtl requests a p-state; bits 15:8 hold the target ratio
+	// (multiples of the 100 MHz bus clock).
+	IA32PerfCtl Addr = 0x199
+	// VoltOffset is the undocumented Intel MSR 0x150 used for per-plane
+	// voltage offsets (the paper's undervolting knob on client CPUs).
+	VoltOffset Addr = 0x150
+
+	// SUIT MSRs (new architectural state proposed by the paper).
+	// SUITDisable holds the opcode disable mask; a set bit makes the
+	// corresponding opcode raise #DO.
+	SUITDisable Addr = 0x1500
+	// SUITCurve selects the DVFS curve: 0 conservative, 1 efficient.
+	// Hardware refuses the efficient curve while SUITDisable is zero.
+	SUITCurve Addr = 0x1501
+	// SUITDeadline arms the count-down deadline timer, in reference-clock
+	// ticks; writing zero disarms it.
+	SUITDeadline Addr = 0x1502
+	// SUITDOCount counts #DO exceptions since reset (diagnostics and the
+	// thrashing-prevention window in software use it).
+	SUITDOCount Addr = 0x1503
+)
+
+// CurveConservative and CurveEfficient are the SUITCurve values.
+const (
+	CurveConservative uint64 = 0
+	CurveEfficient    uint64 = 1
+)
+
+// WriteHook observes a write after the register value is stored.
+type WriteHook func(addr Addr, old, new uint64)
+
+// ErrUnknown reports access to an address the file does not implement.
+type ErrUnknown struct{ Addr Addr }
+
+func (e ErrUnknown) Error() string { return fmt.Sprintf("msr: #GP, unknown MSR %#x", uint32(e.Addr)) }
+
+// File is a register file for one domain. Files are safe for concurrent
+// use; the simulator itself is single-threaded per machine, but tooling
+// reads registers from other goroutines.
+type File struct {
+	mu    sync.Mutex
+	regs  map[Addr]uint64
+	hooks map[Addr][]WriteHook
+}
+
+// NewFile returns a register file implementing the standard SUIT register
+// set, all zeroed.
+func NewFile() *File {
+	f := &File{regs: make(map[Addr]uint64), hooks: make(map[Addr][]WriteHook)}
+	for _, a := range []Addr{
+		IA32MPerf, IA32APerf, IA32PerfStatus, IA32PerfCtl, VoltOffset,
+		SUITDisable, SUITCurve, SUITDeadline, SUITDOCount,
+	} {
+		f.regs[a] = 0
+	}
+	return f
+}
+
+// Read returns the register value, or ErrUnknown (#GP) for unimplemented
+// addresses.
+func (f *File) Read(addr Addr) (uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v, ok := f.regs[addr]
+	if !ok {
+		return 0, ErrUnknown{addr}
+	}
+	return v, nil
+}
+
+// MustRead is Read for addresses known to exist; it panics on #GP.
+func (f *File) MustRead(addr Addr) uint64 {
+	v, err := f.Read(addr)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Write stores value and fires hooks, or returns ErrUnknown (#GP).
+func (f *File) Write(addr Addr, value uint64) error {
+	f.mu.Lock()
+	old, ok := f.regs[addr]
+	if !ok {
+		f.mu.Unlock()
+		return ErrUnknown{addr}
+	}
+	f.regs[addr] = value
+	hooks := append([]WriteHook(nil), f.hooks[addr]...)
+	f.mu.Unlock()
+	for _, h := range hooks {
+		h(addr, old, value)
+	}
+	return nil
+}
+
+// MustWrite is Write that panics on #GP.
+func (f *File) MustWrite(addr Addr, value uint64) {
+	if err := f.Write(addr, value); err != nil {
+		panic(err)
+	}
+}
+
+// OnWrite registers a hook fired after each write to addr.
+func (f *File) OnWrite(addr Addr, h WriteHook) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hooks[addr] = append(f.hooks[addr], h)
+}
+
+// Poke sets a register without firing hooks — the hardware side updating
+// status registers (e.g. IA32PerfStatus as the voltage settles).
+func (f *File) Poke(addr Addr, value uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.regs[addr] = value
+}
+
+// Addrs lists the implemented addresses in ascending order.
+func (f *File) Addrs() []Addr {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Addr, 0, len(f.regs))
+	for a := range f.regs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// --- Field encodings ---
+
+// EncodePerfCtl packs a frequency ratio (multiples of 100 MHz) into
+// IA32PerfCtl format (bits 15:8).
+func EncodePerfCtl(ratio uint8) uint64 { return uint64(ratio) << 8 }
+
+// DecodePerfCtl extracts the requested ratio from an IA32PerfCtl value.
+func DecodePerfCtl(v uint64) uint8 { return uint8(v >> 8) }
+
+// EncodePerfStatus packs ratio (bits 15:8) and core voltage in 1/8192 V
+// units (bits 47:32) into IA32PerfStatus format.
+func EncodePerfStatus(ratio uint8, volts float64) uint64 {
+	vu := uint64(volts*8192+0.5) & 0xFFFF
+	return uint64(ratio)<<8 | vu<<32
+}
+
+// DecodePerfStatusVolts extracts the core voltage in volts.
+func DecodePerfStatusVolts(v uint64) float64 {
+	return float64((v>>32)&0xFFFF) / 8192
+}
+
+// DecodePerfStatusRatio extracts the current ratio.
+func DecodePerfStatusRatio(v uint64) uint8 { return uint8(v >> 8) }
+
+// EncodeVoltOffset packs a signed voltage offset in millivolts into the
+// MSR 0x150 style: an 11-bit two's-complement field in 1/1024 V units at
+// bits 31:21 (plane and command fields are not modelled).
+func EncodeVoltOffset(milliVolts float64) uint64 {
+	steps := int64(milliVolts*1.024 + sign(milliVolts)*0.5) // round to nearest
+	return uint64(steps&0x7FF) << 21
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// DecodeVoltOffset extracts the offset in millivolts.
+func DecodeVoltOffset(v uint64) float64 {
+	raw := int64(v>>21) & 0x7FF
+	if raw&0x400 != 0 { // sign-extend 11 bits
+		raw -= 0x800
+	}
+	return float64(raw) / 1.024
+}

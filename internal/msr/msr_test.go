@@ -1,0 +1,151 @@
+package msr
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteKnownRegisters(t *testing.T) {
+	f := NewFile()
+	for _, a := range f.Addrs() {
+		v, err := f.Read(a)
+		if err != nil || v != 0 {
+			t.Errorf("fresh register %#x: v=%d err=%v", uint32(a), v, err)
+		}
+		if err := f.Write(a, 0xDEAD); err != nil {
+			t.Errorf("write %#x: %v", uint32(a), err)
+		}
+		if v, _ := f.Read(a); v != 0xDEAD {
+			t.Errorf("readback %#x = %#x", uint32(a), v)
+		}
+	}
+}
+
+func TestUnknownMSRIsGP(t *testing.T) {
+	f := NewFile()
+	if _, err := f.Read(0xBEEF); err == nil {
+		t.Error("read of unknown MSR did not fault")
+	} else {
+		var gp ErrUnknown
+		if !errors.As(err, &gp) || gp.Addr != 0xBEEF {
+			t.Errorf("wrong error: %v", err)
+		}
+	}
+	if err := f.Write(0xBEEF, 1); err == nil {
+		t.Error("write to unknown MSR did not fault")
+	}
+}
+
+func TestMustReadWritePanicOnGP(t *testing.T) {
+	f := NewFile()
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("MustRead", func() { f.MustRead(0xBEEF) })
+	mustPanic("MustWrite", func() { f.MustWrite(0xBEEF, 1) })
+}
+
+func TestWriteHooksFireInOrderWithOldAndNew(t *testing.T) {
+	f := NewFile()
+	var calls []uint64
+	f.OnWrite(SUITCurve, func(a Addr, old, new uint64) {
+		if a != SUITCurve {
+			t.Errorf("hook addr = %#x", uint32(a))
+		}
+		calls = append(calls, old, new)
+	})
+	f.MustWrite(SUITCurve, 1)
+	f.MustWrite(SUITCurve, 0)
+	want := []uint64{0, 1, 1, 0}
+	if len(calls) != len(want) {
+		t.Fatalf("calls = %v", calls)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Errorf("calls[%d] = %d, want %d", i, calls[i], want[i])
+		}
+	}
+}
+
+func TestPokeDoesNotFireHooks(t *testing.T) {
+	f := NewFile()
+	fired := false
+	f.OnWrite(IA32PerfStatus, func(Addr, uint64, uint64) { fired = true })
+	f.Poke(IA32PerfStatus, 42)
+	if fired {
+		t.Error("Poke fired a hook")
+	}
+	if f.MustRead(IA32PerfStatus) != 42 {
+		t.Error("Poke did not store value")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	f := NewFile()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n uint64) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				f.MustWrite(SUITDOCount, n)
+				f.MustRead(SUITDOCount)
+			}
+		}(uint64(i))
+	}
+	wg.Wait() // run with -race to exercise
+}
+
+func TestPerfCtlEncoding(t *testing.T) {
+	for _, ratio := range []uint8{0, 8, 26, 47, 255} {
+		v := EncodePerfCtl(ratio)
+		if got := DecodePerfCtl(v); got != ratio {
+			t.Errorf("ratio %d round trip = %d", ratio, got)
+		}
+	}
+}
+
+func TestPerfStatusEncoding(t *testing.T) {
+	v := EncodePerfStatus(47, 1.174)
+	if got := DecodePerfStatusRatio(v); got != 47 {
+		t.Errorf("ratio = %d", got)
+	}
+	if got := DecodePerfStatusVolts(v); math.Abs(got-1.174) > 1.0/8192 {
+		t.Errorf("volts = %v", got)
+	}
+}
+
+func TestVoltOffsetEncoding(t *testing.T) {
+	for _, mv := range []float64{0, -50, -70, -97, -250, 100} {
+		enc := EncodeVoltOffset(mv)
+		got := DecodeVoltOffset(enc)
+		if math.Abs(got-mv) > 1 { // 1/1.024 mV quantum
+			t.Errorf("offset %v mV round trip = %v", mv, got)
+		}
+	}
+}
+
+func TestVoltOffsetEncodingProperty(t *testing.T) {
+	prop := func(raw int16) bool {
+		mv := float64(raw % 500) // ±500 mV, within the 11-bit field
+		got := DecodeVoltOffset(EncodeVoltOffset(mv))
+		return math.Abs(got-mv) <= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCurveConstants(t *testing.T) {
+	if CurveConservative != 0 || CurveEfficient != 1 {
+		t.Error("curve constants changed; MSR ABI is fixed")
+	}
+}

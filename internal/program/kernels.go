@@ -1,0 +1,108 @@
+package program
+
+import "suit/internal/isa"
+
+// A library of program kernels modelled on the workloads the paper's
+// introduction motivates. Instruction budgets follow the actual algorithm
+// structure, so the recorded burst/gap shapes are a consequence of the
+// code rather than fitted parameters.
+
+// AESGCMSeal models encrypting n bytes with AES-128-GCM using AES-NI and
+// PCLMULQDQ, as TLS record processing does: per 16-byte block, ten AESENC
+// rounds for the counter block plus a GHASH carry-less multiply, with the
+// usual load/store/ALU glue.
+func AESGCMSeal(n uint64) *Program {
+	blocks := (n + 15) / 16
+	if blocks == 0 {
+		blocks = 1
+	}
+	perBlock := Seq{
+		Inst{Op: isa.OpLoad, N: 2},       // counter + plaintext
+		Inst{Op: isa.OpAESENC, N: 10},    // AES-128 rounds
+		Inst{Op: isa.OpVXOR, N: 1},       // CTR xor
+		Inst{Op: isa.OpVPCLMULQDQ, N: 2}, // GHASH multiply + reduce half
+		Inst{Op: isa.OpVXOR, N: 1},       // GHASH accumulate
+		Inst{Op: isa.OpStore, N: 1},      // ciphertext
+		Inst{Op: isa.OpALU, N: 6},        // pointer/length bookkeeping
+		Inst{Op: isa.OpBranch, N: 1},     // loop
+	}
+	return &Program{
+		Name: "aes-gcm-seal",
+		IPC:  1.8,
+		Body: Seq{
+			Inst{Op: isa.OpALU, N: 40}, // key schedule set-up amortised
+			Loop{Count: blocks, Body: perBlock},
+			Inst{Op: isa.OpAESENC, N: 10}, // tag block
+			Inst{Op: isa.OpVPCLMULQDQ, N: 2},
+		},
+	}
+}
+
+// HTTPSRequest models one nginx request serving fileKB kilobytes over
+// TLS: parsing and socket work, then record-sized AES-GCM seals, then
+// response bookkeeping. quietInstr is the non-crypto request handling
+// (kernel network stack, parsing, logging).
+func HTTPSRequest(fileKB uint64, quietInstr uint64) *Program {
+	if fileKB == 0 {
+		fileKB = 1
+	}
+	records := (fileKB*1024 + 16383) / 16384 // 16 KiB TLS records
+	seal := AESGCMSeal(16384)
+	return &Program{
+		Name: "https-request",
+		IPC:  1.2,
+		Body: Seq{
+			Inst{Op: isa.OpALU, N: quietInstr / 2},
+			Inst{Op: isa.OpLoad, N: quietInstr / 4},
+			Inst{Op: isa.OpBranch, N: quietInstr / 4},
+			Loop{Count: records, Body: seal.Body},
+			Inst{Op: isa.OpALU, N: quietInstr / 4},
+		},
+	}
+}
+
+// VideoSAD models an x264-style sum-of-absolute-differences / DCT motion
+// estimation kernel: IMUL-dense inner loops over macroblocks — the
+// workload that makes IMUL too frequent to trap (§4.2).
+func VideoSAD(macroblocks uint64) *Program {
+	if macroblocks == 0 {
+		macroblocks = 1
+	}
+	perBlock := Seq{
+		Inst{Op: isa.OpLoad, N: 32},
+		Inst{Op: isa.OpALU, N: 180},
+		Inst{Op: isa.OpIMUL, N: 4}, // quantisation multiplies
+		Inst{Op: isa.OpVPMAX, N: 2},
+		Inst{Op: isa.OpStore, N: 8},
+		Inst{Op: isa.OpBranch, N: 16},
+	}
+	return &Program{
+		Name: "video-sad",
+		IPC:  2.4,
+		Body: Seq{Loop{Count: macroblocks, Body: perBlock}},
+	}
+}
+
+// CompressionBlock models an xz/LZMA-style match finder: long stretches of
+// scalar work with an occasional vector compare burst and a CRC via
+// carry-less multiply at block boundaries.
+func CompressionBlock(literals uint64) *Program {
+	if literals == 0 {
+		literals = 1
+	}
+	perLiteral := Seq{
+		Inst{Op: isa.OpLoad, N: 3},
+		Inst{Op: isa.OpALU, N: 9},
+		Inst{Op: isa.OpBranch, N: 2},
+	}
+	return &Program{
+		Name: "compression-block",
+		IPC:  1.3,
+		Body: Seq{
+			Loop{Count: literals, Body: perLiteral},
+			Inst{Op: isa.OpVPCMP, N: 24},     // match-finder burst
+			Inst{Op: isa.OpVPCLMULQDQ, N: 4}, // CRC64 of the block
+			Inst{Op: isa.OpALU, N: 64},
+		},
+	}
+}

@@ -1,0 +1,163 @@
+// Package program records instruction traces by executing structured
+// synthetic programs — the closest stdlib-only analogue of the paper's
+// QEMU plugin (§5.1), which logs when specific instructions execute while
+// a real application runs.
+//
+// A Program is a small AST of instruction runs and counted loops. Record
+// walks it exactly as an in-order interpreter would, maintaining a dynamic
+// instruction counter, and emits a trace.Trace event for every interesting
+// instruction (the Table 1 faultable set and IMUL). Unlike the statistical
+// generators in internal/trace, the burst/gap structure here *derives*
+// from program shape: an AES-GCM record seal produces its AESENC bursts
+// because the loop over cipher blocks says so.
+package program
+
+import (
+	"errors"
+	"fmt"
+
+	"suit/internal/isa"
+	"suit/internal/trace"
+)
+
+// Node is one element of a program body.
+type Node interface {
+	// instructions returns the dynamic instruction count of the node.
+	instructions() uint64
+}
+
+// Inst executes Op N times in a row.
+type Inst struct {
+	Op isa.Opcode
+	N  uint64
+}
+
+func (i Inst) instructions() uint64 { return i.N }
+
+// Seq executes its children in order.
+type Seq []Node
+
+func (s Seq) instructions() uint64 {
+	var n uint64
+	for _, c := range s {
+		n += c.instructions()
+	}
+	return n
+}
+
+// Loop executes Body Count times.
+type Loop struct {
+	Count uint64
+	Body  Seq
+}
+
+func (l Loop) instructions() uint64 { return l.Count * l.Body.instructions() }
+
+// Program is a named, executable instruction-stream description.
+type Program struct {
+	Name string
+	// IPC is the instructions-per-cycle estimate recorded alongside the
+	// trace (§5.1's INSTRUCTIONS_RETIRED conversion).
+	IPC  float64
+	Body Seq
+}
+
+// maxInstructions bounds recording against accidentally enormous loops.
+const maxInstructions = 1 << 40
+
+// Validate checks the program.
+func (p *Program) Validate() error {
+	if p.Name == "" {
+		return errors.New("program: unnamed program")
+	}
+	if !(p.IPC > 0) {
+		return fmt.Errorf("program: %s has non-positive IPC", p.Name)
+	}
+	var walk func(Node) error
+	walk = func(n Node) error {
+		switch v := n.(type) {
+		case Inst:
+			if !isa.Valid(v.Op) || v.Op == isa.OpNop {
+				return fmt.Errorf("program: %s uses invalid opcode %d", p.Name, v.Op)
+			}
+		case Loop:
+			if v.Count == 0 {
+				return fmt.Errorf("program: %s has a zero-trip loop", p.Name)
+			}
+			return walk(v.Body)
+		case Seq:
+			for _, c := range v {
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+		case nil:
+			return fmt.Errorf("program: %s contains a nil node", p.Name)
+		default:
+			return fmt.Errorf("program: %s contains unknown node %T", p.Name, n)
+		}
+		return nil
+	}
+	if err := walk(p.Body); err != nil {
+		return err
+	}
+	if total := p.Body.instructions(); total == 0 {
+		return fmt.Errorf("program: %s executes no instructions", p.Name)
+	} else if total > maxInstructions {
+		return fmt.Errorf("program: %s executes %d instructions, beyond the recorder bound", p.Name, total)
+	}
+	return nil
+}
+
+// Instructions returns the program's dynamic instruction count.
+func (p *Program) Instructions() uint64 { return p.Body.instructions() }
+
+// interesting reports whether the recorder logs op (the QEMU plugin logs
+// the Table 1 instructions; IMUL is included for §6.1-style analyses).
+func interesting(op isa.Opcode) bool {
+	return op.IsFaultable() || op == isa.OpIMUL
+}
+
+// Record executes the program and returns its trace.
+func (p *Program) Record() (*trace.Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	tr := &trace.Trace{Name: p.Name, Total: p.Instructions(), IPC: p.IPC}
+	var pc uint64
+	var exec func(Node)
+	exec = func(n Node) {
+		switch v := n.(type) {
+		case Inst:
+			if interesting(v.Op) {
+				for k := uint64(0); k < v.N; k++ {
+					tr.Events = append(tr.Events, trace.Event{Index: pc + k, Op: v.Op})
+				}
+			}
+			pc += v.N
+		case Loop:
+			for i := uint64(0); i < v.Count; i++ {
+				exec(v.Body)
+			}
+		case Seq:
+			for _, c := range v {
+				exec(c)
+			}
+		}
+	}
+	exec(p.Body)
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("program: recorded trace invalid: %w", err)
+	}
+	return tr, nil
+}
+
+// Repeat runs the whole program body n times — a workload executing the
+// program in a service loop.
+func (p *Program) Repeat(n uint64) *Program {
+	return &Program{
+		Name: p.Name,
+		IPC:  p.IPC,
+		Body: Seq{Loop{Count: n, Body: p.Body}},
+	}
+}

@@ -1,0 +1,199 @@
+package program
+
+import (
+	"testing"
+	"testing/quick"
+
+	"suit/internal/isa"
+)
+
+func TestInstructionCounting(t *testing.T) {
+	p := &Program{
+		Name: "count", IPC: 1,
+		Body: Seq{
+			Inst{Op: isa.OpALU, N: 10},
+			Loop{Count: 3, Body: Seq{
+				Inst{Op: isa.OpAESENC, N: 2},
+				Inst{Op: isa.OpALU, N: 5},
+			}},
+		},
+	}
+	if got := p.Instructions(); got != 10+3*7 {
+		t.Errorf("Instructions = %d, want 31", got)
+	}
+}
+
+func TestRecordEventPositions(t *testing.T) {
+	p := &Program{
+		Name: "pos", IPC: 2,
+		Body: Seq{
+			Inst{Op: isa.OpALU, N: 100},
+			Inst{Op: isa.OpAESENC, N: 3},
+			Inst{Op: isa.OpALU, N: 50},
+			Inst{Op: isa.OpVOR, N: 1},
+		},
+	}
+	tr, err := p.Record()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total != 154 || tr.IPC != 2 || tr.Name != "pos" {
+		t.Errorf("trace header %+v", tr)
+	}
+	wantIdx := []uint64{100, 101, 102, 153}
+	if len(tr.Events) != len(wantIdx) {
+		t.Fatalf("events = %v", tr.Events)
+	}
+	for i, w := range wantIdx {
+		if tr.Events[i].Index != w {
+			t.Errorf("event %d at %d, want %d", i, tr.Events[i].Index, w)
+		}
+	}
+	if tr.Events[3].Op != isa.OpVOR {
+		t.Errorf("last event op %v", tr.Events[3].Op)
+	}
+}
+
+func TestRecordLoopsProduceBursts(t *testing.T) {
+	// Two loop iterations with quiet ALU stretches between AES bursts:
+	// the gap structure must derive from the loop shape.
+	p := &Program{
+		Name: "bursty", IPC: 1,
+		Body: Seq{Loop{Count: 2, Body: Seq{
+			Inst{Op: isa.OpALU, N: 1000},
+			Inst{Op: isa.OpAESENC, N: 10},
+		}}},
+	}
+	tr, err := p.Record()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 20 {
+		t.Fatalf("%d events, want 20", len(tr.Events))
+	}
+	// First burst at 1000..1009, second at 2010..2019.
+	if tr.Events[0].Index != 1000 || tr.Events[10].Index != 2010 {
+		t.Errorf("burst starts %d, %d", tr.Events[0].Index, tr.Events[10].Index)
+	}
+	gaps := tr.Gaps()
+	if gaps[0] != 1000 || gaps[10] != 1000 {
+		t.Errorf("inter-burst gaps %d, %d", gaps[0], gaps[10])
+	}
+}
+
+func TestRecordIncludesIMUL(t *testing.T) {
+	p := VideoSAD(10)
+	tr, err := p.Record()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOp := tr.CountByOpcode()
+	if byOp[isa.OpIMUL] != 40 {
+		t.Errorf("IMUL events = %d, want 40", byOp[isa.OpIMUL])
+	}
+	if byOp[isa.OpVPMAX] != 20 {
+		t.Errorf("VPMAX events = %d, want 20", byOp[isa.OpVPMAX])
+	}
+}
+
+func TestValidateRejectsBadPrograms(t *testing.T) {
+	bad := []*Program{
+		{Name: "", IPC: 1, Body: Seq{Inst{Op: isa.OpALU, N: 1}}},
+		{Name: "noipc", Body: Seq{Inst{Op: isa.OpALU, N: 1}}},
+		{Name: "empty", IPC: 1, Body: Seq{}},
+		{Name: "zeroloop", IPC: 1, Body: Seq{Loop{Count: 0, Body: Seq{Inst{Op: isa.OpALU, N: 1}}}}},
+		{Name: "nop", IPC: 1, Body: Seq{Inst{Op: isa.OpNop, N: 1}}},
+		{Name: "badop", IPC: 1, Body: Seq{Inst{Op: isa.Opcode(999), N: 1}}},
+		{Name: "nil", IPC: 1, Body: Seq{nil}},
+		{Name: "huge", IPC: 1, Body: Seq{Loop{Count: 1 << 30, Body: Seq{Inst{Op: isa.OpALU, N: 1 << 30}}}}},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("program %q accepted", p.Name)
+		}
+		if _, err := p.Record(); err == nil {
+			t.Errorf("program %q recorded", p.Name)
+		}
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	p := AESGCMSeal(64)
+	r := p.Repeat(5)
+	if r.Instructions() != 5*p.Instructions() {
+		t.Errorf("Repeat(5) has %d instructions, want %d", r.Instructions(), 5*p.Instructions())
+	}
+	tr, err := r.Record()
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, _ := p.Record()
+	if len(tr.Events) != 5*len(single.Events) {
+		t.Errorf("Repeat(5) has %d events, want %d", len(tr.Events), 5*len(single.Events))
+	}
+}
+
+func TestKernelsValidateAndRecord(t *testing.T) {
+	kernels := []*Program{
+		AESGCMSeal(100_000),
+		HTTPSRequest(100, 40_000),
+		VideoSAD(5_000),
+		CompressionBlock(50_000),
+		AESGCMSeal(0), // degenerate sizes clamp to one unit
+		HTTPSRequest(0, 8),
+		VideoSAD(0),
+		CompressionBlock(0),
+	}
+	for _, p := range kernels {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		tr, err := p.Record()
+		if err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		if len(tr.Events) == 0 {
+			t.Errorf("%s recorded no interesting instructions", p.Name)
+		}
+	}
+}
+
+func TestHTTPSRequestAESDominates(t *testing.T) {
+	tr, err := HTTPSRequest(100, 50_000).Record()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOp := tr.CountByOpcode()
+	// 100 KiB = 7 TLS records × 1024 blocks × 10 rounds + tag rounds.
+	if byOp[isa.OpAESENC] < 70_000 {
+		t.Errorf("AESENC events = %d, want ≥70k for a 100 KiB response", byOp[isa.OpAESENC])
+	}
+	if byOp[isa.OpVPCLMULQDQ] == 0 {
+		t.Error("no GHASH multiplies recorded")
+	}
+}
+
+func TestRecordCountsMatchProperty(t *testing.T) {
+	// For random (bounded) loop shapes, the recorded event count must
+	// equal loop count × per-iteration interesting instructions, and the
+	// trace total must equal the program's instruction count.
+	prop := func(loopRaw, aesRaw, aluRaw uint8) bool {
+		loops := uint64(loopRaw%50) + 1
+		aes := uint64(aesRaw % 20)
+		alu := uint64(aluRaw%100) + 1
+		p := &Program{Name: "prop", IPC: 1, Body: Seq{Loop{Count: loops, Body: Seq{
+			Inst{Op: isa.OpALU, N: alu},
+			Inst{Op: isa.OpAESENC, N: aes},
+		}}}}
+		tr, err := p.Record()
+		if err != nil {
+			return false
+		}
+		return uint64(len(tr.Events)) == loops*aes && tr.Total == loops*(alu+aes)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

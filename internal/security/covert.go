@@ -1,0 +1,179 @@
+package security
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"suit/internal/cpu"
+	"suit/internal/dvfs"
+	"suit/internal/emul"
+	"suit/internal/guardband"
+	"suit/internal/isa"
+	"suit/internal/strategy"
+	"suit/internal/trace"
+	"suit/internal/units"
+)
+
+// This file makes the §8 "Side-Channel Leakage" discussion executable: on
+// a single-DVFS-domain CPU, SUIT's curve switching is a shared, attacker-
+// modulatable resource. A sender process executes a disabled instruction
+// to drag the whole domain to the conservative curve for at least one
+// deadline period; a co-located receiver observes the frequency dip. The
+// experiment quantifies the resulting covert-channel capacity.
+
+// CovertResult reports one covert-channel transmission.
+type CovertResult struct {
+	Sent     []bool
+	Received []bool
+	// BitErrors counts positions where Received differs from Sent.
+	BitErrors int
+	// Window is the symbol period used.
+	Window units.Second
+	// BitsPerSecond is the raw symbol rate; effective capacity scales
+	// with (1 - error rate).
+	BitsPerSecond float64
+}
+
+// ErrorRate returns the fraction of mis-received bits.
+func (r CovertResult) ErrorRate() float64 {
+	if len(r.Sent) == 0 {
+		return 0
+	}
+	return float64(r.BitErrors) / float64(len(r.Sent))
+}
+
+// CovertChannel transmits bits through SUIT's curve switching on a
+// single-domain chip: for each 1-bit the sender executes faultable
+// instructions at the start of the symbol window, trapping the domain to
+// the conservative curve; for a 0-bit it stays quiet and the deadline
+// mechanism returns the domain to the efficient curve. The receiver
+// decodes from the per-window conservative-curve occupancy — the same
+// signal a real receiver extracts from its own instruction throughput.
+func CovertChannel(chip dvfs.Chip, bits []bool, window units.Second, seed uint64) (CovertResult, error) {
+	if chip.Domains != dvfs.SingleDomain {
+		return CovertResult{}, errors.New("security: the covert channel needs a shared DVFS domain")
+	}
+	if len(bits) == 0 {
+		return CovertResult{}, errors.New("security: nothing to send")
+	}
+	params := strategy.ParamsAC()
+	if window < 4*params.Deadline {
+		return CovertResult{}, fmt.Errorf("security: window %v too short for deadline %v", window, params.Deadline)
+	}
+
+	gb := guardband.Default()
+	offset := gb.EfficientOffset(isa.FaultableMask, true, true)
+
+	// The sender's instruction rate on the efficient curve converts
+	// window times to instruction indices. Conservative periods slow the
+	// sender down, so 1-bits are preceded by idle slack (the sender
+	// spins); using the efficient rate keeps windows aligned well enough
+	// for the ~30 µs deadline tail to stay inside the window.
+	const ipc = 2.0
+	effState := chip.SustainableState(chip.Vendor, offset, chip.Cores)
+	rate := ipc * float64(effState.F)
+
+	winInstr := uint64(float64(window) * rate)
+	total := winInstr * uint64(len(bits)+1)
+	sender := &trace.Trace{Name: "covert-sender", Total: total, IPC: ipc}
+	for i, bit := range bits {
+		if !bit {
+			continue
+		}
+		base := uint64(i) * winInstr
+		// A short kick of faultable instructions: the first traps, the
+		// rest keep the deadline armed briefly.
+		for k := uint64(0); k < 4; k++ {
+			sender.Events = append(sender.Events, trace.Event{
+				Index: base + k*1000, Op: isa.OpVOR,
+			})
+		}
+	}
+	if err := sender.Validate(); err != nil {
+		return CovertResult{}, err
+	}
+	receiver := &trace.Trace{Name: "covert-receiver", Total: total, IPC: ipc}
+
+	m, err := cpu.New(cpu.Config{
+		Chip:           chip,
+		Traces:         []*trace.Trace{sender, receiver},
+		Offset:         offset,
+		Faults:         gb,
+		HardenedIMUL:   true,
+		ExceptionDelay: chip.ExceptionDelay,
+		Emul:           emul.NewCostModel(chip.EmulCallDelay),
+		Seed:           seed,
+		RecordTimeline: true,
+	}, strategy.FV{P: params})
+	if err != nil {
+		return CovertResult{}, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return CovertResult{}, err
+	}
+
+	received := decodeEpisodes(res.Timeline, window, len(bits))
+	out := CovertResult{
+		Sent:          bits,
+		Received:      received,
+		Window:        window,
+		BitsPerSecond: 1 / float64(window),
+	}
+	for i := range bits {
+		if bits[i] != received[i] {
+			out.BitErrors++
+		}
+	}
+	return out, nil
+}
+
+// episode is one conservative-curve excursion of the domain.
+type episode struct {
+	start, end units.Second
+}
+
+// episodesOf extracts conservative excursions from the switch timeline.
+func episodesOf(timeline []cpu.ModeChange) []episode {
+	sorted := append([]cpu.ModeChange(nil), timeline...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].T < sorted[j].T })
+	var eps []episode
+	inCons := false
+	var start units.Second
+	for _, mc := range sorted {
+		switch {
+		case mc.Mode != cpu.ModeE && !inCons:
+			inCons, start = true, mc.T
+		case mc.Mode == cpu.ModeE && inCons:
+			inCons = false
+			eps = append(eps, episode{start: start, end: mc.T})
+		}
+	}
+	if inCons {
+		eps = append(eps, episode{start: start, end: start})
+	}
+	return eps
+}
+
+// senderDriftFactor is the receiver's clock-recovery constant: the sender
+// loses roughly this fraction of each conservative episode (trap handler
+// block, frequency-change stalls and the reduced Cf clock), shifting all
+// later symbols. A real receiver recovers the clock the same way — from
+// the dips it observes.
+const senderDriftFactor = 0.9
+
+// decodeEpisodes maps each conservative excursion to its symbol window,
+// compensating the sender's cumulative slowdown.
+func decodeEpisodes(timeline []cpu.ModeChange, window units.Second, nBits int) []bool {
+	received := make([]bool, nBits)
+	var drift units.Second
+	for _, ep := range episodesOf(timeline) {
+		w := int(float64((ep.start-drift)/window) + 0.5)
+		if w >= 0 && w < nBits {
+			received[w] = true
+		}
+		drift += units.Second(senderDriftFactor) * (ep.end - ep.start)
+	}
+	return received
+}

@@ -1,0 +1,27 @@
+package security_test
+
+import (
+	"fmt"
+
+	"suit/internal/dvfs"
+	"suit/internal/security"
+	"suit/internal/units"
+)
+
+// The §8 covert channel: a sender modulates the shared DVFS domain by
+// trapping on 1-bits; the receiver decodes its own slowdowns.
+func ExampleCovertChannel() {
+	bits := []bool{true, false, true, true, false, false, true, false}
+	res, err := security.CovertChannel(dvfs.IntelI9_9900K(), bits, units.Microseconds(400), 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("sent     %v\n", res.Sent)
+	fmt.Printf("received %v\n", res.Received)
+	fmt.Printf("errors: %d at %.1f kbit/s\n", res.BitErrors, res.BitsPerSecond/1000)
+	// Output:
+	// sent     [true false true true false false true false]
+	// received [true false true true false false true false]
+	// errors: 0 at 2.5 kbit/s
+}

@@ -1,0 +1,104 @@
+package strategy
+
+import (
+	"suit/internal/cpu"
+	"suit/internal/isa"
+	"suit/internal/units"
+)
+
+// Adaptive is a self-tuning variant of fV that replaces the fixed Table 7
+// deadline with an exponentially weighted estimate of the workload's
+// inter-exception gap. The paper observes that a single parameter set
+// works across workloads because the tolerance band is wide (§6.4);
+// Adaptive explores the obvious next step — let the OS learn the band per
+// workload instead of shipping constants.
+//
+// Policy: the deadline is Alpha × EWMA(gap between consecutive #DO
+// exceptions), clamped to [MinDeadline, MaxDeadline]. Short observed gaps
+// (a thrashing workload) stretch the deadline exactly like the static
+// thrashing prevention, but proportionally; long gaps (sparse bursts)
+// shrink it toward MinDeadline, returning to the efficient curve sooner
+// than the fixed p_dl would.
+type Adaptive struct {
+	// Alpha scales the gap estimate into a deadline (default 0.5).
+	Alpha float64
+	// Smoothing is the EWMA weight of the newest gap (default 0.25).
+	Smoothing float64
+	// MinDeadline/MaxDeadline clamp the result (defaults 10 µs / 2 ms).
+	MinDeadline units.Second
+	MaxDeadline units.Second
+
+	// per-domain learning state; Adaptive must be used by pointer so the
+	// state persists across handler invocations.
+	lastException []units.Second
+	ewmaGap       []units.Second
+}
+
+// Name implements cpu.Strategy.
+func (*Adaptive) Name() string { return "adaptive" }
+
+func (a *Adaptive) defaults() {
+	if a.Alpha == 0 {
+		a.Alpha = 0.5
+	}
+	if a.Smoothing == 0 {
+		a.Smoothing = 0.25
+	}
+	if a.MinDeadline == 0 {
+		a.MinDeadline = units.Microseconds(10)
+	}
+	if a.MaxDeadline == 0 {
+		a.MaxDeadline = units.Milliseconds(2)
+	}
+}
+
+// Init implements cpu.Strategy.
+func (a *Adaptive) Init(ctl cpu.Controller) {
+	a.defaults()
+	n := ctl.Domains()
+	a.lastException = make([]units.Second, n)
+	a.ewmaGap = make([]units.Second, n)
+	for d := 0; d < n; d++ {
+		a.lastException[d] = -1
+		ctl.DisableInstructions(d)
+		ctl.RequestAsync(d, cpu.ModeE)
+	}
+}
+
+// deadline computes the current deadline for a domain.
+func (a *Adaptive) deadline(domain int) units.Second {
+	d := units.Second(a.Alpha) * a.ewmaGap[domain]
+	if d < a.MinDeadline {
+		d = a.MinDeadline
+	}
+	if d > a.MaxDeadline {
+		d = a.MaxDeadline
+	}
+	return d
+}
+
+// OnDisabledOpcode implements cpu.Strategy.
+func (a *Adaptive) OnDisabledOpcode(ctl cpu.Controller, domain, core int, op isa.Opcode) {
+	now := ctl.Now()
+	if a.lastException[domain] >= 0 {
+		gap := now - a.lastException[domain]
+		if a.ewmaGap[domain] == 0 {
+			a.ewmaGap[domain] = gap
+		} else {
+			s := units.Second(a.Smoothing)
+			a.ewmaGap[domain] = s*gap + (1-s)*a.ewmaGap[domain]
+		}
+	}
+	a.lastException[domain] = now
+
+	ctl.RequestWait(domain, cpu.ModeCf)
+	ctl.RequestAsync(domain, cpu.ModeCv)
+	ctl.EnableInstructions(domain)
+	ctl.ArmDeadline(domain, a.deadline(domain))
+}
+
+// OnDeadline implements cpu.Strategy.
+func (a *Adaptive) OnDeadline(ctl cpu.Controller, domain int) {
+	ctl.DisableInstructions(domain)
+	ctl.RequestAsync(domain, cpu.ModeE)
+}

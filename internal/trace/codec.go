@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"suit/internal/isa"
+)
+
+// Binary trace format (SUITTRC1):
+//
+//	magic   [8]byte  "SUITTRC1"
+//	nameLen uvarint, name bytes (UTF-8)
+//	total   uvarint
+//	ipc     float64 (IEEE 754, little endian)
+//	nEvents uvarint
+//	events  nEvents × (deltaIndex uvarint, opcode uvarint)
+//
+// Indices are delta-encoded against the previous event index, which keeps
+// long sparse traces compact (gaps of billions of instructions fit in a
+// few bytes).
+
+var magic = [8]byte{'S', 'U', 'I', 'T', 'T', 'R', 'C', '1'}
+
+// ErrBadMagic reports a stream that is not a SUITTRC1 trace.
+var ErrBadMagic = errors.New("trace: bad magic, not a SUITTRC1 stream")
+
+// maxDecodeEvents bounds decode allocation against corrupted headers.
+const maxDecodeEvents = 1 << 28
+
+// WriteBinary encodes t to w in the SUITTRC1 format. The trace must be
+// valid; invalid traces are rejected so that corrupt files are never
+// produced.
+func WriteBinary(w io.Writer, t *Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	if err := putUvarint(t.Total); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(t.IPC))
+	if _, err := bw.Write(buf[:8]); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Events))); err != nil {
+		return err
+	}
+	var prev uint64
+	for i, ev := range t.Events {
+		delta := ev.Index
+		if i > 0 {
+			delta = ev.Index - prev
+		}
+		prev = ev.Index
+		if err := putUvarint(delta); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(ev.Op)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a SUITTRC1 trace from r and validates it.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	t := &Trace{Name: string(nameBuf)}
+	if t.Total, err = binary.ReadUvarint(br); err != nil {
+		return nil, fmt.Errorf("trace: reading total: %w", err)
+	}
+	var ipcBuf [8]byte
+	if _, err := io.ReadFull(br, ipcBuf[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading ipc: %w", err)
+	}
+	t.IPC = math.Float64frombits(binary.LittleEndian.Uint64(ipcBuf[:]))
+	nEvents, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading event count: %w", err)
+	}
+	if nEvents > maxDecodeEvents {
+		return nil, fmt.Errorf("trace: unreasonable event count %d", nEvents)
+	}
+	if nEvents > 0 {
+		t.Events = make([]Event, nEvents)
+	}
+	var prev uint64
+	for i := range t.Events {
+		delta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading event %d index: %w", i, err)
+		}
+		opRaw, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading event %d opcode: %w", i, err)
+		}
+		if opRaw >= uint64(isa.NumOpcodes) {
+			return nil, fmt.Errorf("%w: event %d opcode %d", ErrBadOpcode, i, opRaw)
+		}
+		idx := delta
+		if i > 0 {
+			idx = prev + delta
+			if idx < prev { // overflow
+				return nil, fmt.Errorf("%w: event %d index overflow", ErrOutOfRange, i)
+			}
+		}
+		prev = idx
+		t.Events[i] = Event{Index: idx, Op: isa.Opcode(opRaw)}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// jsonTrace is the JSON wire form: events as [index, opcodeName] pairs.
+type jsonTrace struct {
+	Name   string          `json:"name"`
+	Total  uint64          `json:"total"`
+	IPC    float64         `json:"ipc"`
+	Events [][2]any        `json:"-"`
+	Raw    json.RawMessage `json:"events"`
+}
+
+type jsonEvent struct {
+	Index uint64 `json:"i"`
+	Op    string `json:"op"`
+}
+
+// MarshalJSON implements json.Marshaler for Trace.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	evs := make([]jsonEvent, len(t.Events))
+	for i, ev := range t.Events {
+		evs[i] = jsonEvent{Index: ev.Index, Op: ev.Op.String()}
+	}
+	raw, err := json.Marshal(evs)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(jsonTrace{Name: t.Name, Total: t.Total, IPC: t.IPC, Raw: raw})
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Trace.
+func (t *Trace) UnmarshalJSON(data []byte) error {
+	var jt jsonTrace
+	if err := json.Unmarshal(data, &jt); err != nil {
+		return err
+	}
+	var evs []jsonEvent
+	if len(jt.Raw) > 0 {
+		if err := json.Unmarshal(jt.Raw, &evs); err != nil {
+			return err
+		}
+	}
+	t.Name, t.Total, t.IPC = jt.Name, jt.Total, jt.IPC
+	t.Events = nil
+	if len(evs) > 0 {
+		t.Events = make([]Event, len(evs))
+	}
+	for i, je := range evs {
+		op, ok := isa.ByName(je.Op)
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrBadOpcode, je.Op)
+		}
+		t.Events[i] = Event{Index: je.Index, Op: op}
+	}
+	return t.Validate()
+}

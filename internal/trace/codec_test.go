@@ -1,0 +1,276 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"suit/internal/isa"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	orig := &Trace{
+		Name:  "557.xz",
+		Total: 5_000_000_000,
+		IPC:   1.73,
+		Events: []Event{
+			{0, isa.OpVOR},
+			{559, isa.OpIMUL},
+			{1_000_000, isa.OpAESENC},
+			{4_999_999_999, isa.OpVPADDQ},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, orig)
+	}
+}
+
+func TestBinaryRejectsInvalidTrace(t *testing.T) {
+	bad := &Trace{Total: 1, IPC: 0}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, bad); err == nil {
+		t.Error("WriteBinary accepted an invalid trace")
+	}
+	if buf.Len() != 0 {
+		// Nothing useful should have been committed before validation.
+		t.Error("WriteBinary wrote bytes for an invalid trace")
+	}
+}
+
+func TestReadBinaryBadMagic(t *testing.T) {
+	_, err := ReadBinary(strings.NewReader("NOTATRACE-------"))
+	if err != ErrBadMagic {
+		t.Errorf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReadBinaryTruncated(t *testing.T) {
+	orig := mkTrace(t, 100, 1, 2, 3)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut += 3 {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d/%d bytes not detected", cut, len(full))
+		}
+	}
+}
+
+func TestReadBinaryCorruptOpcode(t *testing.T) {
+	orig := mkTrace(t, 100, 1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(b)-1] = 0xFF // opcode varint → continuation byte garbage
+	if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+		t.Error("corrupt opcode not detected")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := &Trace{
+		Name:  "nginx",
+		Total: 12345,
+		IPC:   2.5,
+		Events: []Event{
+			{7, isa.OpAESENC}, {8, isa.OpAESENC}, {9000, isa.OpVPCLMULQDQ},
+		},
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Trace
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, &got) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", &got, orig)
+	}
+	// Opcode names must be symbolic in the wire form.
+	if !bytes.Contains(data, []byte(`"AESENC"`)) {
+		t.Errorf("JSON does not use mnemonic opcodes: %s", data)
+	}
+}
+
+func TestJSONRejectsUnknownOpcode(t *testing.T) {
+	var tr Trace
+	err := json.Unmarshal([]byte(`{"name":"x","total":10,"ipc":1,"events":[{"i":1,"op":"FROB"}]}`), &tr)
+	if err == nil {
+		t.Error("unknown opcode accepted")
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	faultable := isa.Faultable()
+	prop := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		total := uint64(1_000_000)
+		tr := &Trace{Name: "prop", Total: total, IPC: 0.5 + rng.Float64()*3}
+		idx := uint64(0)
+		for i := 0; i < int(n); i++ {
+			idx += rng.Uint64N(10_000) + 1
+			if idx >= total {
+				break
+			}
+			op := faultable[rng.IntN(len(faultable))]
+			tr.Events = append(tr.Events, Event{Index: idx, Op: op})
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(tr, got)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{
+		Name: "det", Total: 1_000_000, IPC: 2, Seed: 42,
+		Sources: []Source{
+			Burst{Op: isa.OpAESENC, MeanBurstLen: 20, IntraGap: 3, QuietMedian: 50_000, QuietSigma: 1.5},
+			Poisson{Op: isa.OpVOR, MeanGap: 100_000},
+		},
+	}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Generate not deterministic in seed")
+	}
+	spec.Seed = 43
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateValidatesSpec(t *testing.T) {
+	if _, err := Generate(Spec{Total: 0, IPC: 1}); err == nil {
+		t.Error("zero total accepted")
+	}
+	if _, err := Generate(Spec{Total: 10, IPC: 0}); err == nil {
+		t.Error("zero IPC accepted")
+	}
+}
+
+func TestPeriodicSource(t *testing.T) {
+	tr, err := Generate(Spec{
+		Name: "imul", Total: 5601, IPC: 1, Seed: 1,
+		Sources: []Source{Periodic{Op: isa.OpIMUL, Interval: 560}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 11 { // indices 0,560,...,5600
+		t.Fatalf("got %d events, want 11", len(tr.Events))
+	}
+	for i, ev := range tr.Events {
+		if ev.Index != uint64(i)*560 || ev.Op != isa.OpIMUL {
+			t.Errorf("event %d = %+v", i, ev)
+		}
+	}
+	// Zero interval emits nothing rather than looping forever.
+	tr2, err := Generate(Spec{Name: "z", Total: 100, IPC: 1,
+		Sources: []Source{Periodic{Op: isa.OpIMUL, Interval: 0}}})
+	if err != nil || len(tr2.Events) != 0 {
+		t.Errorf("zero-interval: %v, %d events", err, len(tr2.Events))
+	}
+}
+
+func TestPoissonSourceDensity(t *testing.T) {
+	tr, err := Generate(Spec{
+		Name: "poisson", Total: 10_000_000, IPC: 1, Seed: 7,
+		Sources: []Source{Poisson{Op: isa.OpVXOR, MeanGap: 1000}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(len(tr.Events))
+	want := 10_000_000.0 / 1000
+	if got < want*0.9 || got > want*1.1 {
+		t.Errorf("Poisson event count %v not within 10%% of %v", got, want)
+	}
+}
+
+func TestBurstSourceIsBursty(t *testing.T) {
+	tr, err := Generate(Spec{
+		Name: "bursty", Total: 100_000_000, IPC: 1, Seed: 3,
+		Sources: []Source{Burst{Op: isa.OpAESENC, MeanBurstLen: 50, IntraGap: 2, QuietMedian: 1_000_000, QuietSigma: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) < 100 {
+		t.Fatalf("too few events to assess burstiness: %d", len(tr.Events))
+	}
+	// Bimodal gaps: many tiny (intra-burst), some huge (quiet). Compare
+	// the count of gaps <=10 against gaps >=100000.
+	var tiny, huge int
+	for _, g := range tr.Gaps() {
+		switch {
+		case g <= 10:
+			tiny++
+		case g >= 100_000:
+			huge++
+		}
+	}
+	if tiny == 0 || huge == 0 {
+		t.Errorf("burst trace not bimodal: tiny=%d huge=%d", tiny, huge)
+	}
+	if float64(tiny) < 5*float64(huge) {
+		t.Errorf("expected intra-burst gaps to dominate: tiny=%d huge=%d", tiny, huge)
+	}
+}
+
+func TestGenerateResolvesCollisions(t *testing.T) {
+	// Two periodic sources emitting at identical indices must still yield
+	// a valid (strictly increasing) trace.
+	tr, err := Generate(Spec{
+		Name: "collide", Total: 1000, IPC: 1, Seed: 1,
+		Sources: []Source{
+			Periodic{Op: isa.OpVOR, Interval: 100},
+			Periodic{Op: isa.OpVXOR, Interval: 100},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 20 {
+		t.Errorf("got %d events, want 20 (collisions shifted, not dropped)", len(tr.Events))
+	}
+}

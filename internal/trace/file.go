@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+)
+
+// WriteFile stores the trace at path in the binary SUITTRC1 format,
+// writing through a temporary file so that a crash never leaves a
+// truncated trace behind.
+func WriteFile(path string, t *Trace) (err error) {
+	tmp, err := os.CreateTemp(dirOf(path), ".suittrc-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = WriteBinary(tmp, t); err != nil {
+		return fmt.Errorf("trace: writing %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadFile loads a binary trace from path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := ReadBinary(f)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading %s: %w", path, err)
+	}
+	return t, nil
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"suit/internal/isa"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub.suittrc")
+	orig := &Trace{
+		Name: "file-test", Total: 1_000_000, IPC: 1.5,
+		Events: []Event{{100, isa.OpAESENC}, {5000, isa.OpVOR}},
+	}
+	if err := WriteFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Errorf("round trip mismatch: %+v vs %+v", orig, got)
+	}
+}
+
+func TestWriteFileInvalidTraceLeavesNoFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.suittrc")
+	bad := &Trace{Total: 1} // IPC 0 → invalid
+	if err := WriteFile(path, bad); err == nil {
+		t.Fatal("invalid trace written")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("failed write left a file behind")
+	}
+	// No stray temp files either.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("stray files after failed write: %v", entries)
+	}
+}
+
+func TestReadFileErrors(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing file read succeeded")
+	}
+	path := filepath.Join(t.TempDir(), "garbage")
+	if err := os.WriteFile(path, []byte("not a trace at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Error("garbage file read succeeded")
+	}
+}
+
+func TestWriteFileRelativePath(t *testing.T) {
+	// dirOf(".") handling: a bare filename writes into the cwd.
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	tr := &Trace{Name: "rel", Total: 10, IPC: 1}
+	if err := WriteFile("rel.suittrc", tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile("rel.suittrc"); err != nil {
+		t.Fatal(err)
+	}
+}

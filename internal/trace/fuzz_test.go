@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"suit/internal/isa"
+)
+
+// FuzzReadBinary hardens the trace decoder against corrupted inputs: it
+// must either reject the bytes or produce a trace that passes Validate
+// and survives a re-encode round trip.
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a valid encoding and a few mutations.
+	valid := &Trace{
+		Name: "seed", Total: 100_000, IPC: 1.5,
+		Events: []Event{{10, isa.OpAESENC}, {5000, isa.OpVOR}},
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("SUITTRC1"))
+	f.Add([]byte("SUITTRC1\x00\x00\x00"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; crashing is not
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid trace: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, tr); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(tr, back) {
+			t.Fatal("re-encode round trip not stable")
+		}
+	})
+}
+
+// FuzzTraceJSON does the same for the JSON codec.
+func FuzzTraceJSON(f *testing.F) {
+	f.Add([]byte(`{"name":"x","total":10,"ipc":1,"events":[{"i":1,"op":"VOR"}]}`))
+	f.Add([]byte(`{"name":"","total":0,"ipc":0,"events":[]}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tr Trace
+		if err := tr.UnmarshalJSON(data); err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("JSON decoder accepted an invalid trace: %v", err)
+		}
+	})
+}

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"suit/internal/isa"
+)
+
+// Source produces event indices for one opcode within [0, total). The
+// concrete sources below model the patterns observed in §5.1: periodic
+// use (IMUL every ~560 instructions in hot code), memoryless background
+// use, and the bursty use typical of encryption (Figs 5 and 7).
+type Source interface {
+	// Emit appends events to dst, using rng for randomness. Emitted
+	// indices need not be unique across sources; Generate normalises.
+	Emit(dst []Event, total uint64, rng *rand.Rand) []Event
+}
+
+// Periodic emits Op every Interval instructions starting at Offset.
+type Periodic struct {
+	Op       isa.Opcode
+	Interval uint64
+	Offset   uint64
+}
+
+// Emit implements Source.
+func (p Periodic) Emit(dst []Event, total uint64, rng *rand.Rand) []Event {
+	if p.Interval == 0 {
+		return dst
+	}
+	for idx := p.Offset; idx < total; idx += p.Interval {
+		dst = append(dst, Event{Index: idx, Op: p.Op})
+	}
+	return dst
+}
+
+// Poisson emits Op with exponentially distributed gaps of the given mean —
+// the memoryless baseline against which the deadline mechanism's burst
+// adaptation is compared.
+type Poisson struct {
+	Op      isa.Opcode
+	MeanGap float64 // mean instructions between events
+}
+
+// Emit implements Source.
+func (p Poisson) Emit(dst []Event, total uint64, rng *rand.Rand) []Event {
+	if p.MeanGap <= 0 {
+		return dst
+	}
+	idx := uint64(rng.ExpFloat64() * p.MeanGap)
+	for idx < total {
+		dst = append(dst, Event{Index: idx, Op: p.Op})
+		step := uint64(rng.ExpFloat64()*p.MeanGap) + 1
+		next := idx + step
+		if next < idx { // overflow
+			break
+		}
+		idx = next
+	}
+	return dst
+}
+
+// Burst emits Op in bursts: a geometric number of events with small
+// intra-burst gaps, separated by log-normally distributed quiet gaps.
+// This reproduces the structure of Fig 7 (AES during VLC streaming): most
+// gap mass at 10^1–10^2 inside bursts, quiet gaps spanning 10^4–10^7.
+type Burst struct {
+	Op           isa.Opcode
+	MeanBurstLen float64 // mean events per burst (geometric), >= 1
+	IntraGap     uint64  // instructions between events inside a burst
+	QuietMedian  float64 // median quiet gap between bursts (instructions)
+	QuietSigma   float64 // log-space sigma of the quiet gap (log-normal)
+}
+
+// Emit implements Source.
+func (b Burst) Emit(dst []Event, total uint64, rng *rand.Rand) []Event {
+	if b.MeanBurstLen < 1 || b.QuietMedian <= 0 {
+		return dst
+	}
+	mu := math.Log(b.QuietMedian)
+	intra := b.IntraGap
+	if intra == 0 {
+		intra = 1
+	}
+	quiet := func() uint64 {
+		g := math.Exp(mu + b.QuietSigma*rng.NormFloat64())
+		if g < 1 {
+			g = 1
+		}
+		if g > float64(total) {
+			g = float64(total)
+		}
+		return uint64(g)
+	}
+	// Burst length uniform in [mean/2, 3·mean/2]: the mean is preserved
+	// and the spread stays bounded, so short traces with few bursts keep
+	// a stable event density (a heavy-tailed length distribution makes
+	// per-seed densities swing by an order of magnitude).
+	burstLen := func() int {
+		n := int(b.MeanBurstLen * (0.5 + rng.Float64()))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	idx := quiet() / 2 // first burst starts after roughly half a quiet gap
+	for idx < total {
+		for i, n := 0, burstLen(); i < n && idx < total; i++ {
+			dst = append(dst, Event{Index: idx, Op: b.Op})
+			idx += intra
+		}
+		next := idx + quiet()
+		if next < idx {
+			break
+		}
+		idx = next
+	}
+	return dst
+}
+
+// Spec describes a synthetic trace to generate.
+type Spec struct {
+	Name    string
+	Total   uint64
+	IPC     float64
+	Seed    uint64
+	Sources []Source
+}
+
+// Generate materialises the trace described by spec. It is deterministic
+// in spec.Seed. Colliding indices across sources are resolved by shifting
+// later events forward by one instruction.
+func Generate(spec Spec) (*Trace, error) {
+	if spec.Total == 0 {
+		return nil, errors.New("trace: Generate with zero total")
+	}
+	if !(spec.IPC > 0) {
+		return nil, fmt.Errorf("%w: %v", ErrBadIPC, spec.IPC)
+	}
+	rng := rand.New(rand.NewPCG(spec.Seed, spec.Seed^0x9e3779b97f4a7c15))
+	var events []Event
+	for _, src := range spec.Sources {
+		events = src.Emit(events, spec.Total, rng)
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Index != events[j].Index {
+			return events[i].Index < events[j].Index
+		}
+		return events[i].Op < events[j].Op
+	})
+	// Resolve collisions: each instruction slot holds one instruction.
+	out := events[:0]
+	var nextFree uint64
+	for _, ev := range events {
+		if ev.Index < nextFree {
+			ev.Index = nextFree
+		}
+		if ev.Index >= spec.Total {
+			break
+		}
+		out = append(out, ev)
+		nextFree = ev.Index + 1
+	}
+	t := &Trace{Name: spec.Name, Total: spec.Total, IPC: spec.IPC, Events: out}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,106 @@
+package uarch
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"suit/internal/isa"
+	"suit/internal/trace"
+)
+
+// Trace-driven simulation: instead of sampling opcodes from a statistical
+// mix, the core executes a window of a recorded trace — the interesting
+// instructions (faultable set, IMUL) at their exact recorded positions,
+// embedded in the background mix for the anonymous instructions between
+// them. This lets program-recorded traces (internal/program) answer the
+// §6.1 question directly: how much does the 4-cycle IMUL cost *this*
+// program?
+
+// traceStream yields the opcode at each dynamic instruction of a trace
+// window, filling gaps from a background sampler.
+type traceStream struct {
+	events  []trace.Event
+	idx     int
+	pos     uint64
+	backgnd *mixSampler
+}
+
+func newTraceStream(tr *trace.Trace, start uint64, background *mixSampler) *traceStream {
+	events := tr.Events
+	// Skip events before the window.
+	lo := 0
+	for lo < len(events) && events[lo].Index < start {
+		lo++
+	}
+	return &traceStream{events: events[lo:], pos: start, backgnd: background}
+}
+
+// SimulateTrace runs n instructions of the trace (from instruction index
+// start) through the core. Background instructions between the recorded
+// events are drawn from backgroundMix (defaults to a generic scalar mix).
+func SimulateTrace(cfg Config, tr *trace.Trace, start uint64, n int, backgroundMix map[isa.Opcode]float64, seed uint64) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if n <= 0 {
+		return Result{}, errors.New("uarch: need at least one instruction")
+	}
+	if err := tr.Validate(); err != nil {
+		return Result{}, err
+	}
+	if start >= tr.Total {
+		return Result{}, fmt.Errorf("uarch: window start %d beyond trace total %d", start, tr.Total)
+	}
+	if backgroundMix == nil {
+		backgroundMix = map[isa.Opcode]float64{
+			isa.OpALU: 0.40, isa.OpLoad: 0.25, isa.OpStore: 0.10,
+			isa.OpBranch: 0.15, isa.OpFPAdd: 0.06, isa.OpFPMul: 0.03,
+			isa.OpLEA: 0.01,
+		}
+	}
+	sampler, err := newMixSampler(backgroundMix)
+	if err != nil {
+		return Result{}, err
+	}
+	st := newTraceStream(tr, start, sampler)
+	// The IMUL share of the window drives the multiply-chain model.
+	end := start + uint64(n)
+	imuls := 0
+	for _, ev := range tr.Events {
+		if ev.Index >= start && ev.Index < end && ev.Op == isa.OpIMUL {
+			imuls++
+		}
+	}
+	return simulate(cfg, n, seed, float64(imuls)/float64(n), st.next)
+}
+
+// next returns the opcode at the stream's current position and advances.
+func (s *traceStream) next(rng *rand.Rand) isa.Opcode {
+	if s.idx < len(s.events) && s.events[s.idx].Index == s.pos {
+		op := s.events[s.idx].Op
+		s.idx++
+		s.pos++
+		return op
+	}
+	s.pos++
+	return s.backgnd.sample(rng)
+}
+
+// TraceSlowdown compares the trace window at stock and modified IMUL
+// latency (both runs see the identical stream).
+func TraceSlowdown(cfg Config, tr *trace.Trace, start uint64, n int, seed uint64, imulLatency int) (float64, error) {
+	base := cfg
+	base.IMULLatency = 3
+	mod := cfg
+	mod.IMULLatency = imulLatency
+	r0, err := SimulateTrace(base, tr, start, n, nil, seed)
+	if err != nil {
+		return 0, err
+	}
+	r1, err := SimulateTrace(mod, tr, start, n, nil, seed)
+	if err != nil {
+		return 0, err
+	}
+	return r0.IPC/r1.IPC - 1, nil
+}

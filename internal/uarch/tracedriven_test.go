@@ -1,0 +1,116 @@
+package uarch
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"suit/internal/isa"
+	"suit/internal/program"
+	"suit/internal/trace"
+)
+
+func recordedSAD(t *testing.T, macroblocks uint64) *trace.Trace {
+	t.Helper()
+	tr, err := program.VideoSAD(macroblocks).Record()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSimulateTraceValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := recordedSAD(t, 100)
+	if _, err := SimulateTrace(cfg, tr, 0, 0, nil, 1); err == nil {
+		t.Error("zero instructions accepted")
+	}
+	if _, err := SimulateTrace(cfg, tr, tr.Total+5, 100, nil, 1); err == nil {
+		t.Error("window beyond the trace accepted")
+	}
+	bad := cfg
+	bad.Width = 0
+	if _, err := SimulateTrace(bad, tr, 0, 100, nil, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+	invalid := &trace.Trace{Total: 10} // IPC 0
+	if _, err := SimulateTrace(cfg, invalid, 0, 5, nil, 1); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestSimulateTraceDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := recordedSAD(t, 2000)
+	a, err := SimulateTrace(cfg, tr, 0, 100_000, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateTrace(cfg, tr, 0, 100_000, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("trace-driven simulation not deterministic")
+	}
+}
+
+func TestTraceSlowdownOnIMULDenseProgram(t *testing.T) {
+	// VideoSAD has 4 IMULs per ~240-instruction macroblock (≈1.7 %):
+	// denser than 525.x264's mix, so the hardened IMUL must cost it a
+	// visible slowdown, while the AES-GCM kernel (no IMUL at all) costs
+	// exactly nothing.
+	cfg := DefaultConfig()
+	sad := recordedSAD(t, 2000)
+	s, err := TraceSlowdown(cfg, sad, 0, 200_000, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.005 {
+		t.Errorf("SAD latency-4 slowdown = %.3f%%, want ≥0.5%%", s*100)
+	}
+	gcm, err := program.AESGCMSeal(200_000).Record()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := TraceSlowdown(cfg, gcm, 0, 200_000, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != 0 {
+		t.Errorf("IMUL-free kernel slowdown = %v, want exactly 0", s2)
+	}
+}
+
+func TestTraceStreamEmitsEventsAtExactPositions(t *testing.T) {
+	tr := &trace.Trace{Name: "x", Total: 100, IPC: 1, Events: []trace.Event{
+		{Index: 3, Op: isa.OpAESENC},
+		{Index: 4, Op: isa.OpIMUL},
+		{Index: 50, Op: isa.OpVOR},
+	}}
+	sampler, err := newMixSampler(map[isa.Opcode]float64{isa.OpALU: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	st := newTraceStream(tr, 0, sampler)
+	var got []isa.Opcode
+	for i := 0; i < 60; i++ {
+		got = append(got, st.next(rng))
+	}
+	if got[3] != isa.OpAESENC || got[4] != isa.OpIMUL || got[50] != isa.OpVOR {
+		t.Errorf("events misplaced: [3]=%v [4]=%v [50]=%v", got[3], got[4], got[50])
+	}
+	for i, op := range got {
+		if i != 3 && i != 4 && i != 50 && op != isa.OpALU {
+			t.Errorf("background at %d = %v", i, op)
+		}
+	}
+	// A window starting mid-trace skips earlier events.
+	st2 := newTraceStream(tr, 10, sampler)
+	for i := 10; i < 50; i++ {
+		st2.next(rng)
+	}
+	if op := st2.next(rng); op != isa.OpVOR {
+		t.Errorf("windowed stream at 50 = %v, want VOR", op)
+	}
+}

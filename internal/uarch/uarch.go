@@ -1,0 +1,355 @@
+// Package uarch is the microarchitecture simulator used for SUIT's static
+// building block (§4.2, §6.1): it quantifies how much performance an
+// out-of-order core loses when the IMUL latency grows from 3 cycles to 4
+// (the SUIT hardening) and beyond (Fig 14).
+//
+// The paper uses gem5's O3 model in full-system mode (Table 5). This
+// package implements a dataflow-limit out-of-order model from scratch:
+// instructions dispatch in order through a width-limited front end into a
+// reorder buffer, issue out of order when their operands and a functional
+// unit are ready, and retire in order. That captures the two effects
+// Fig 14 hinges on — small latency increases hide inside the scheduler's
+// slack, large ones serialise dependence chains — without modelling fetch,
+// caches or TLBs cycle by cycle.
+package uarch
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"suit/internal/isa"
+)
+
+// Config describes the simulated core, defaulting to a gem5-O3-like
+// configuration (Table 5: x86-64, 3 GHz, out-of-order).
+type Config struct {
+	// Width is the dispatch/retire width in instructions per cycle.
+	Width int
+	// ROB is the reorder-buffer capacity.
+	ROB int
+	// IMULLatency overrides the IMUL result latency (3 = stock hardware,
+	// 4 = SUIT-hardened).
+	IMULLatency int
+	// FUs is the number of functional units per kind.
+	FUs map[isa.FUKind]int
+	// BranchMispredictRate is the per-branch misprediction probability;
+	// a mispredict refills the front end after the branch resolves plus
+	// MispredictPenalty cycles.
+	BranchMispredictRate float64
+	MispredictPenalty    int
+	// LoadMissRate is the per-load probability of a last-level miss with
+	// MissLatency cycles instead of the L1 hit latency.
+	LoadMissRate float64
+	MissLatency  int
+	// DepMeanDist is the mean register-dependence distance in
+	// instructions; each instruction reads up to two earlier results.
+	DepMeanDist float64
+	// IMULChainIn is the probability that an IMUL reads the immediately
+	// preceding result, and IMULChainLen the mean length of the serial
+	// dependence chain consuming an IMUL result (each link reading its
+	// predecessor). 525.x264's motion-estimation and DCT kernels put
+	// IMUL on such multiply-accumulate chains, which is what exposes the
+	// extra latency (§6.1); without chains the scheduler hides it.
+	//
+	// Chains only form where multiplies are loop-carried: a workload
+	// whose IMUL density reaches IMULChainDensity behaves as a multiply
+	// kernel (full chain probability); sparse incidental multiplies
+	// (address arithmetic, hashing) sit off the critical path and chain
+	// proportionally less.
+	IMULChainIn      float64
+	IMULChainLen     float64
+	IMULChainDensity float64
+}
+
+// DefaultConfig returns the Table 5-like core: 4-wide, 192-entry ROB,
+// stock 3-cycle IMUL.
+func DefaultConfig() Config {
+	return Config{
+		Width:       4,
+		ROB:         192,
+		IMULLatency: 3,
+		FUs: map[isa.FUKind]int{
+			isa.FUALU:    4,
+			isa.FUMul:    1,
+			isa.FUDiv:    1,
+			isa.FULoad:   2,
+			isa.FUStore:  1,
+			isa.FUBranch: 1,
+			isa.FUFPAdd:  2,
+			isa.FUFPMul:  2,
+			isa.FUVector: 2,
+			isa.FUAES:    1,
+		},
+		BranchMispredictRate: 0.01,
+		MispredictPenalty:    14,
+		LoadMissRate:         0.005,
+		MissLatency:          80,
+		DepMeanDist:          40,
+		IMULChainIn:          0.8,
+		IMULChainLen:         6,
+		IMULChainDensity:     0.008,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.ROB <= 0 {
+		return errors.New("uarch: Width and ROB must be positive")
+	}
+	if c.IMULLatency <= 0 {
+		return errors.New("uarch: IMULLatency must be positive")
+	}
+	if c.BranchMispredictRate < 0 || c.BranchMispredictRate > 1 ||
+		c.LoadMissRate < 0 || c.LoadMissRate > 1 {
+		return errors.New("uarch: rates must be in [0,1]")
+	}
+	if c.DepMeanDist < 1 {
+		return errors.New("uarch: DepMeanDist must be ≥ 1")
+	}
+	if c.IMULChainIn < 0 || c.IMULChainIn > 1 {
+		return errors.New("uarch: IMULChainIn must be in [0,1]")
+	}
+	if c.IMULChainLen < 0 {
+		return errors.New("uarch: IMULChainLen must be non-negative")
+	}
+	for k, n := range c.FUs {
+		if n <= 0 {
+			return fmt.Errorf("uarch: FU %v count must be positive", k)
+		}
+	}
+	return nil
+}
+
+// Result summarises one simulation.
+type Result struct {
+	Instructions uint64
+	Cycles       float64
+	IPC          float64
+}
+
+// latencyOf returns the configured result latency of op.
+func (c Config) latencyOf(op isa.Opcode) int {
+	if op == isa.OpIMUL {
+		return c.IMULLatency
+	}
+	return isa.Lookup(op).Latency
+}
+
+// Simulate runs n instructions drawn from mix through the core and
+// returns the achieved IPC. It is deterministic in seed.
+func Simulate(cfg Config, mix map[isa.Opcode]float64, n int, seed uint64) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if n <= 0 {
+		return Result{}, errors.New("uarch: need at least one instruction")
+	}
+	sampler, err := newMixSampler(mix)
+	if err != nil {
+		return Result{}, err
+	}
+	return simulate(cfg, n, seed, sampler.share(isa.OpIMUL), sampler.sample)
+}
+
+// simulate is the core scheduling loop, shared by the mix-driven and
+// trace-driven front ends. imulShare drives the multiply-chain activation
+// (see Config.IMULChainDensity); next supplies the instruction stream.
+func simulate(cfg Config, n int, seed uint64, imulShare float64, next func(*rand.Rand) isa.Opcode) (Result, error) {
+	rng := rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb))
+
+	// Ring buffers over the ROB window.
+	window := cfg.ROB
+	complete := make([]float64, window) // completion cycle of instr i%window
+	retire := make([]float64, window)   // retirement cycle
+
+	// Per-FU-kind next-free cycles (one slot per unit).
+	fuFree := make([][]float64, isa.NumFUKinds)
+	for k := range fuFree {
+		if cnt := cfg.FUs[isa.FUKind(k)]; cnt > 0 {
+			fuFree[k] = make([]float64, cnt)
+		}
+	}
+
+	dispatchStep := 1.0 / float64(cfg.Width)
+	var frontEnd float64 // next dispatch cycle
+	var lastRetire float64
+	chainRemaining := 0
+
+	// Chain activation scales with the workload's IMUL density (see the
+	// IMULChainDensity doc comment).
+	chainScale := 1.0
+	if cfg.IMULChainDensity > 0 && imulShare < cfg.IMULChainDensity {
+		chainScale = imulShare / cfg.IMULChainDensity
+	}
+	chainProb := cfg.IMULChainIn * chainScale
+
+	for i := 0; i < n; i++ {
+		op := next(rng)
+		info := isa.Lookup(op)
+
+		// Dispatch: width-limited, ROB-limited (cannot dispatch before
+		// the instruction ROB slots ago retired).
+		dispatch := frontEnd
+		if i >= window {
+			if r := retire[i%window]; r > dispatch {
+				dispatch = r
+			}
+		}
+		frontEnd = dispatch + dispatchStep
+
+		// Operand readiness: up to two producers at geometric distances,
+		// plus multiply-chain coupling around IMUL.
+		ready := dispatch
+		for d := 0; d < 2; d++ {
+			if d == 1 && rng.Float64() < 0.6 {
+				continue // many instructions have a single register input
+			}
+			dist := 1 + int(rng.ExpFloat64()*(cfg.DepMeanDist-1))
+			if dist > i {
+				continue
+			}
+			if dist >= window {
+				continue // producer long retired
+			}
+			if t := complete[(i-dist)%window]; t > ready {
+				ready = t
+			}
+		}
+		chained := i > 0 &&
+			(chainRemaining > 0 ||
+				(op == isa.OpIMUL && rng.Float64() < chainProb))
+		if chained {
+			if t := complete[(i-1)%window]; t > ready {
+				ready = t
+			}
+		}
+		if chainRemaining > 0 {
+			chainRemaining--
+		}
+		if op == isa.OpIMUL && cfg.IMULChainLen > 0 && rng.Float64() < chainScale {
+			chainRemaining = 1 + int(rng.ExpFloat64()*(cfg.IMULChainLen-1))
+		}
+
+		// Functional unit: earliest-free unit of the required kind.
+		units := fuFree[info.FU]
+		best := 0
+		for u := 1; u < len(units); u++ {
+			if units[u] < units[best] {
+				best = u
+			}
+		}
+		issue := ready
+		if units[best] > issue {
+			issue = units[best]
+		}
+
+		lat := float64(cfg.latencyOf(op))
+		if op == isa.OpLoad && rng.Float64() < cfg.LoadMissRate {
+			lat = float64(cfg.MissLatency)
+		}
+		if info.Pipelined {
+			units[best] = issue + 1
+		} else {
+			units[best] = issue + lat
+		}
+		done := issue + lat
+		complete[i%window] = done
+
+		// In-order, width-limited retirement.
+		ret := done
+		if lastRetire+dispatchStep > ret {
+			ret = lastRetire + dispatchStep
+		}
+		retire[i%window] = ret
+		lastRetire = ret
+
+		// Branch mispredict: the front end refills after resolution.
+		if op == isa.OpBranch && rng.Float64() < cfg.BranchMispredictRate {
+			refill := done + float64(cfg.MispredictPenalty)
+			if refill > frontEnd {
+				frontEnd = refill
+			}
+		}
+	}
+
+	cycles := lastRetire
+	return Result{
+		Instructions: uint64(n),
+		Cycles:       cycles,
+		IPC:          float64(n) / cycles,
+	}, nil
+}
+
+// Slowdown runs the mix at the stock 3-cycle IMUL and at imulLatency and
+// returns the relative slowdown (0.016 = 1.6 % slower). Both runs share
+// the seed, so they see identical instruction streams.
+func Slowdown(cfg Config, mix map[isa.Opcode]float64, n int, seed uint64, imulLatency int) (float64, error) {
+	base := cfg
+	base.IMULLatency = 3
+	mod := cfg
+	mod.IMULLatency = imulLatency
+	r0, err := Simulate(base, mix, n, seed)
+	if err != nil {
+		return 0, err
+	}
+	r1, err := Simulate(mod, mix, n, seed)
+	if err != nil {
+		return 0, err
+	}
+	return r0.IPC/r1.IPC - 1, nil
+}
+
+// mixSampler draws opcodes from a weighted mix by inverse CDF.
+type mixSampler struct {
+	ops []isa.Opcode
+	cdf []float64
+}
+
+func newMixSampler(mix map[isa.Opcode]float64) (*mixSampler, error) {
+	var total float64
+	for op, w := range mix {
+		if w < 0 {
+			return nil, fmt.Errorf("uarch: negative weight for %v", op)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, errors.New("uarch: empty instruction mix")
+	}
+	s := &mixSampler{}
+	// Deterministic order: iterate the opcode space, not the map.
+	acc := 0.0
+	for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
+		w, ok := mix[op]
+		if !ok || w == 0 {
+			continue
+		}
+		acc += w / total
+		s.ops = append(s.ops, op)
+		s.cdf = append(s.cdf, acc)
+	}
+	return s, nil
+}
+
+// share returns the normalised weight of op in the mix.
+func (s *mixSampler) share(op isa.Opcode) float64 {
+	prev := 0.0
+	for i, o := range s.ops {
+		if o == op {
+			return s.cdf[i] - prev
+		}
+		prev = s.cdf[i]
+	}
+	return 0
+}
+
+func (s *mixSampler) sample(rng *rand.Rand) isa.Opcode {
+	x := rng.Float64()
+	for i, c := range s.cdf {
+		if x < c {
+			return s.ops[i]
+		}
+	}
+	return s.ops[len(s.ops)-1]
+}

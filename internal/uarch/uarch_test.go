@@ -1,0 +1,259 @@
+package uarch
+
+import (
+	"math"
+	"testing"
+
+	"suit/internal/isa"
+	"suit/internal/workload"
+)
+
+const testN = 200_000
+
+func x264Mix(t *testing.T) map[isa.Opcode]float64 {
+	t.Helper()
+	b, ok := workload.ByName("525.x264")
+	if !ok {
+		t.Fatal("525.x264 missing")
+	}
+	return b.Mix()
+}
+
+func TestDefaultConfigValidates(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Width = 0 },
+		func(c *Config) { c.ROB = 0 },
+		func(c *Config) { c.IMULLatency = 0 },
+		func(c *Config) { c.BranchMispredictRate = 1.5 },
+		func(c *Config) { c.LoadMissRate = -0.1 },
+		func(c *Config) { c.DepMeanDist = 0.5 },
+		func(c *Config) { c.IMULChainIn = 2 },
+		func(c *Config) { c.IMULChainLen = -1 },
+		func(c *Config) { c.FUs = map[isa.FUKind]int{isa.FUALU: 0} },
+	}
+	for i, mut := range mutations {
+		c := DefaultConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	mix := x264Mix(t)
+	a, err := Simulate(cfg, mix, testN, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(cfg, mix, testN, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("not deterministic: %+v vs %+v", a, b)
+	}
+	c, err := Simulate(cfg, mix, testN, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds gave identical results")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := Simulate(cfg, nil, testN, 1); err == nil {
+		t.Error("empty mix accepted")
+	}
+	if _, err := Simulate(cfg, map[isa.Opcode]float64{isa.OpALU: -1}, testN, 1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := Simulate(cfg, map[isa.Opcode]float64{isa.OpALU: 1}, 0, 1); err == nil {
+		t.Error("zero instructions accepted")
+	}
+	bad := cfg
+	bad.Width = 0
+	if _, err := Simulate(bad, map[isa.Opcode]float64{isa.OpALU: 1}, testN, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestIPCBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	r, err := Simulate(cfg, x264Mix(t), testN, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC <= 0 || r.IPC > float64(cfg.Width) {
+		t.Errorf("IPC = %v outside (0, width]", r.IPC)
+	}
+	if r.Instructions != testN {
+		t.Errorf("Instructions = %d", r.Instructions)
+	}
+	if r.Cycles <= 0 {
+		t.Error("non-positive cycle count")
+	}
+}
+
+func TestPureALUStreamNearWidthBound(t *testing.T) {
+	// Independent single-cycle ops with no hazards should approach the
+	// dispatch width.
+	cfg := DefaultConfig()
+	cfg.BranchMispredictRate = 0
+	cfg.LoadMissRate = 0
+	cfg.DepMeanDist = 10_000 // dependences effectively never bind
+	r, err := Simulate(cfg, map[isa.Opcode]float64{isa.OpALU: 1}, testN, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC < float64(cfg.Width)*0.9 {
+		t.Errorf("hazard-free ALU IPC = %v, want ≈%d", r.IPC, cfg.Width)
+	}
+}
+
+func TestUnpipelinedDivThroughputBound(t *testing.T) {
+	// A pure DIV stream on one unpipelined divider is bounded by
+	// 1/latency IPC.
+	cfg := DefaultConfig()
+	cfg.BranchMispredictRate = 0
+	r, err := Simulate(cfg, map[isa.Opcode]float64{isa.OpDiv: 1}, 20_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 1.0 / float64(isa.Lookup(isa.OpDiv).Latency)
+	if r.IPC > bound*1.05 {
+		t.Errorf("DIV IPC = %v exceeds structural bound %v", r.IPC, bound)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	// Fig 14: slowdown grows with IMUL latency; small increments are
+	// mostly hidden by out-of-order execution, large ones approach the
+	// exposure ceiling. x264 at latency 4 is ≈1.6 %, at 30 ≈46 %.
+	cfg := DefaultConfig()
+	mix := x264Mix(t)
+	prev := -1.0
+	slow := map[int]float64{}
+	for _, lat := range []int{4, 5, 6, 15, 30} {
+		s, err := Slowdown(cfg, mix, testN, 3, lat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s <= prev {
+			t.Errorf("slowdown not increasing at latency %d: %v after %v", lat, s, prev)
+		}
+		prev = s
+		slow[lat] = s
+	}
+	if slow[4] < 0.008 || slow[4] > 0.025 {
+		t.Errorf("x264 latency-4 slowdown = %.3f%%, want ≈1.6%%", slow[4]*100)
+	}
+	if slow[30] < 0.30 || slow[30] > 0.65 {
+		t.Errorf("x264 latency-30 slowdown = %.1f%%, want ≈46%%", slow[30]*100)
+	}
+	// Sub-linear onset: the first +1 cycle costs much less than 1/27 of
+	// the +27-cycle slowdown would suggest linearly... in fact the curve
+	// is super-linear at the start because OoO hides small bumps.
+	if slow[4] > slow[30]/27*3 {
+		t.Errorf("latency-4 slowdown %.4f not hidden relative to linear extrapolation %.4f",
+			slow[4], slow[30]/27)
+	}
+}
+
+func TestGeomeanSlowdownSmall(t *testing.T) {
+	// §6.1: the average slowdown of the 4-cycle IMUL over SPEC CPU2017
+	// is ≈0.03 % (σ 0.15). Our model lands under 0.15 %.
+	cfg := DefaultConfig()
+	var sumLog float64
+	var n int
+	for _, b := range workload.SPEC() {
+		s, err := Slowdown(cfg, b.Mix(), testN, 3, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		sumLog += math.Log1p(s)
+		n++
+	}
+	geo := math.Expm1(sumLog / float64(n))
+	if geo < 0 || geo > 0.0015 {
+		t.Errorf("geomean latency-4 slowdown = %.4f%%, want ≈0.03%% (<0.15%%)", geo*100)
+	}
+}
+
+func TestX264WorstCase(t *testing.T) {
+	// 525.x264 must be the benchmark most affected by the hardened IMUL
+	// (0.99 % IMUL density vs 0.07 % average).
+	cfg := DefaultConfig()
+	var worst string
+	var worstS float64
+	for _, b := range workload.SPEC() {
+		s, err := Slowdown(cfg, b.Mix(), testN, 3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s > worstS {
+			worst, worstS = b.Name, s
+		}
+	}
+	if worst != "525.x264" {
+		t.Errorf("worst benchmark = %s (%.3f%%), want 525.x264", worst, worstS*100)
+	}
+}
+
+func TestSlowdownZeroWhenNoIMUL(t *testing.T) {
+	cfg := DefaultConfig()
+	mix := map[isa.Opcode]float64{isa.OpALU: 0.7, isa.OpLoad: 0.3}
+	s, err := Slowdown(cfg, mix, testN, 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0 {
+		t.Errorf("slowdown %v for an IMUL-free mix, want exactly 0", s)
+	}
+}
+
+func TestMixSamplerShares(t *testing.T) {
+	mix := map[isa.Opcode]float64{isa.OpALU: 3, isa.OpIMUL: 1}
+	s, err := newMixSampler(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.share(isa.OpIMUL); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("share(IMUL) = %v, want 0.25", got)
+	}
+	if got := s.share(isa.OpALU); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("share(ALU) = %v, want 0.75", got)
+	}
+	if got := s.share(isa.OpVOR); got != 0 {
+		t.Errorf("share of absent op = %v", got)
+	}
+}
+
+func TestROBLimitsRunahead(t *testing.T) {
+	// With a tiny ROB, a long-latency load blocks retirement and drags
+	// IPC down versus a big ROB.
+	small := DefaultConfig()
+	small.ROB = 8
+	big := DefaultConfig()
+	mix := map[isa.Opcode]float64{isa.OpALU: 0.8, isa.OpLoad: 0.2}
+	rs, err := Simulate(small, mix, testN, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Simulate(big, mix, testN, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.IPC >= rb.IPC {
+		t.Errorf("ROB=8 IPC %v not below ROB=192 IPC %v", rs.IPC, rb.IPC)
+	}
+}

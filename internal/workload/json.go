@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"suit/internal/isa"
+)
+
+// JSON form of a Benchmark, so users can define custom workload models
+// for cmd/tracegen and cmd/suitsim without recompiling. Opcodes are
+// mnemonic strings; the noSIMD map is keyed "intel"/"amd".
+type benchmarkJSON struct {
+	Name         string  `json:"name"`
+	Suite        string  `json:"suite"` // "SPECint" | "SPECfp" | "network"
+	IPC          float64 `json:"ipc"`
+	IMULFraction float64 `json:"imulFraction"`
+
+	BurstEvery    float64 `json:"burstEvery,omitempty"`
+	BurstLen      float64 `json:"burstLen,omitempty"`
+	BurstIntraGap uint64  `json:"burstIntraGap,omitempty"`
+	BurstSigma    float64 `json:"burstSigma,omitempty"`
+	PoissonGap    float64 `json:"poissonGap,omitempty"`
+	BurstOp       string  `json:"burstOp,omitempty"`
+	DiffuseOp     string  `json:"diffuseOp,omitempty"`
+
+	NoSIMD map[string]float64 `json:"noSIMD"`
+	TEE    bool               `json:"tee,omitempty"`
+}
+
+var suiteNames = map[Suite]string{
+	SPECint: "SPECint", SPECfp: "SPECfp", Network: "network",
+}
+
+// MarshalJSON implements json.Marshaler.
+func (b Benchmark) MarshalJSON() ([]byte, error) {
+	j := benchmarkJSON{
+		Name: b.Name, Suite: suiteNames[b.Suite], IPC: b.IPC,
+		IMULFraction: b.IMULFraction,
+		BurstEvery:   b.BurstEvery, BurstLen: b.BurstLen,
+		BurstIntraGap: b.BurstIntraGap, BurstSigma: b.BurstSigma,
+		PoissonGap: b.PoissonGap,
+		NoSIMD:     map[string]float64{},
+		TEE:        b.TEE,
+	}
+	if b.BurstOp != isa.OpNop {
+		j.BurstOp = b.BurstOp.String()
+	}
+	if b.DiffuseOp != isa.OpNop {
+		j.DiffuseOp = b.DiffuseOp.String()
+	}
+	for fam, v := range b.NoSIMD {
+		key := "intel"
+		if fam == AMD {
+			key = "amd"
+		}
+		j.NoSIMD[key] = v
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON implements json.Unmarshaler; the result is validated.
+func (b *Benchmark) UnmarshalJSON(data []byte) error {
+	var j benchmarkJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	out := Benchmark{
+		Name: j.Name, IPC: j.IPC, IMULFraction: j.IMULFraction,
+		BurstEvery: j.BurstEvery, BurstLen: j.BurstLen,
+		BurstIntraGap: j.BurstIntraGap, BurstSigma: j.BurstSigma,
+		PoissonGap: j.PoissonGap, TEE: j.TEE,
+		NoSIMD: map[CPUFamily]float64{},
+	}
+	switch j.Suite {
+	case "SPECint":
+		out.Suite = SPECint
+	case "SPECfp":
+		out.Suite = SPECfp
+	case "network", "":
+		out.Suite = Network
+	default:
+		return fmt.Errorf("workload: unknown suite %q", j.Suite)
+	}
+	lookupOp := func(name string) (isa.Opcode, error) {
+		if name == "" {
+			return isa.OpNop, nil
+		}
+		op, ok := isa.ByName(name)
+		if !ok {
+			return 0, fmt.Errorf("workload: unknown opcode %q", name)
+		}
+		return op, nil
+	}
+	var err error
+	if out.BurstOp, err = lookupOp(j.BurstOp); err != nil {
+		return err
+	}
+	if out.DiffuseOp, err = lookupOp(j.DiffuseOp); err != nil {
+		return err
+	}
+	for key, v := range j.NoSIMD {
+		switch key {
+		case "intel":
+			out.NoSIMD[Intel] = v
+		case "amd":
+			out.NoSIMD[AMD] = v
+		default:
+			return fmt.Errorf("workload: unknown CPU family %q", key)
+		}
+	}
+	// Defaults: a spec without noSIMD data gets zeros (valid model).
+	if _, ok := out.NoSIMD[Intel]; !ok {
+		out.NoSIMD[Intel] = 0
+	}
+	if _, ok := out.NoSIMD[AMD]; !ok {
+		out.NoSIMD[AMD] = 0
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*b = out
+	return nil
+}

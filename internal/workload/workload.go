@@ -1,0 +1,190 @@
+// Package workload models the applications of the paper's evaluation: all
+// 23 SPEC CPU2017 rate benchmarks, an nginx HTTPS server under wrk load,
+// and VLC streaming a 1080p video (§5.1, §6.2).
+//
+// The paper records instruction traces of these applications with a QEMU
+// plugin; neither QEMU nor SPEC are available here, so each workload is
+// described by a generative model calibrated to the paper's published
+// statistics: faultable instructions arrive in bursts with
+// benchmark-specific episode rates (Figs 5–7), IMUL frequency per
+// benchmark (§6.1: 0.99 % of instructions in 525.x264, 0.07 % on average
+// elsewhere), and the measured impact of compiling without SIMD (Table 4).
+package workload
+
+import (
+	"fmt"
+
+	"suit/internal/isa"
+	"suit/internal/trace"
+)
+
+// Suite classifies a workload.
+type Suite uint8
+
+// Workload suites.
+const (
+	SPECint Suite = iota
+	SPECfp
+	Network
+)
+
+// String implements fmt.Stringer.
+func (s Suite) String() string {
+	switch s {
+	case SPECint:
+		return "SPECint"
+	case SPECfp:
+		return "SPECfp"
+	case Network:
+		return "network"
+	default:
+		return fmt.Sprintf("Suite(%d)", uint8(s))
+	}
+}
+
+// Benchmark is the generative model of one workload.
+type Benchmark struct {
+	Name  string
+	Suite Suite
+	// IPC is the baseline instructions-per-cycle of the workload, used to
+	// convert instruction counts to cycles (§5.1's INSTRUCTIONS_RETIRED
+	// method).
+	IPC float64
+	// IMULFraction is the share of dynamic instructions that are IMUL.
+	IMULFraction float64
+
+	// Faultable-instruction arrival model. BurstEvery is the mean
+	// instruction distance between burst episodes (0 disables bursts);
+	// each episode contains ≈BurstLen events BurstIntraGap instructions
+	// apart. PoissonGap adds memoryless events (0 disables); dense
+	// workloads like 520.omnetpp use it to model faultable instructions
+	// arriving continuously just below the deadline spacing.
+	BurstEvery    float64
+	BurstLen      float64
+	BurstIntraGap uint64
+	BurstSigma    float64
+	PoissonGap    float64
+	BurstOp       isa.Opcode
+	DiffuseOp     isa.Opcode
+
+	// NoSIMD is the measured relative score change when the workload is
+	// compiled without SSE/AVX (Table 4), keyed by CPU family.
+	NoSIMD map[CPUFamily]float64
+
+	// TEE marks a workload running inside a trusted execution
+	// environment (SGX-style enclave): SUIT may still switch DVFS curves
+	// for it, but the OS cannot map emulation code into the enclave, so
+	// emulation-based strategies are unavailable (§4.3).
+	TEE bool
+}
+
+// CPUFamily keys the per-CPU Table 4 measurements.
+type CPUFamily uint8
+
+// The CPU families of Table 4. The Xeon Silver 4208 uses the Intel column.
+const (
+	Intel CPUFamily = iota
+	AMD
+)
+
+// String implements fmt.Stringer.
+func (f CPUFamily) String() string {
+	if f == AMD {
+		return "7700X"
+	}
+	return "i9-9900K"
+}
+
+// Validate checks the model.
+func (b Benchmark) Validate() error {
+	if b.Name == "" {
+		return fmt.Errorf("workload: unnamed benchmark")
+	}
+	if !(b.IPC > 0) {
+		return fmt.Errorf("workload: %s has non-positive IPC", b.Name)
+	}
+	if b.IMULFraction < 0 || b.IMULFraction > 0.05 {
+		return fmt.Errorf("workload: %s IMUL fraction %v implausible", b.Name, b.IMULFraction)
+	}
+	if b.BurstEvery < 0 || b.PoissonGap < 0 {
+		return fmt.Errorf("workload: %s negative arrival parameter", b.Name)
+	}
+	if b.BurstEvery > 0 && (b.BurstLen < 1 || b.BurstIntraGap == 0) {
+		return fmt.Errorf("workload: %s burst model incomplete", b.Name)
+	}
+	if _, ok := b.NoSIMD[Intel]; !ok {
+		return fmt.Errorf("workload: %s missing Intel noSIMD impact", b.Name)
+	}
+	if _, ok := b.NoSIMD[AMD]; !ok {
+		return fmt.Errorf("workload: %s missing AMD noSIMD impact", b.Name)
+	}
+	return nil
+}
+
+// TraceSpec builds the trace.Spec generating total instructions of this
+// workload. The trace contains the faultable-set events only — IMUL is
+// hardened in SUIT CPUs and never traps, so its cost is modelled
+// analytically (internal/uarch) rather than per event.
+func (b Benchmark) TraceSpec(total uint64, seed uint64) trace.Spec {
+	var src []trace.Source
+	if b.BurstEvery > 0 {
+		src = append(src, trace.Burst{
+			Op:           b.burstOp(),
+			MeanBurstLen: b.BurstLen,
+			IntraGap:     b.BurstIntraGap,
+			QuietMedian:  b.BurstEvery,
+			QuietSigma:   b.BurstSigma,
+		})
+	}
+	if b.PoissonGap > 0 {
+		src = append(src, trace.Poisson{Op: b.diffuseOp(), MeanGap: b.PoissonGap})
+	}
+	return trace.Spec{Name: b.Name, Total: total, IPC: b.IPC, Seed: seed, Sources: src}
+}
+
+func (b Benchmark) burstOp() isa.Opcode {
+	if b.BurstOp != isa.OpNop {
+		return b.BurstOp
+	}
+	return isa.OpVOR
+}
+
+func (b Benchmark) diffuseOp() isa.Opcode {
+	if b.DiffuseOp != isa.OpNop {
+		return b.DiffuseOp
+	}
+	return isa.OpVXOR
+}
+
+// GenerateTrace materialises a trace of total instructions.
+func (b Benchmark) GenerateTrace(total uint64, seed uint64) (*trace.Trace, error) {
+	return trace.Generate(b.TraceSpec(total, seed))
+}
+
+// Mix returns the instruction mix for the out-of-order model: IMUL at the
+// benchmark's fraction, vector work proportional to its faultable density,
+// and a generic scalar/memory/branch background.
+func (b Benchmark) Mix() map[isa.Opcode]float64 {
+	vec := 0.0
+	if b.BurstEvery > 0 {
+		vec += b.BurstLen / b.BurstEvery
+	}
+	if b.PoissonGap > 0 {
+		vec += 1 / b.PoissonGap
+	}
+	m := map[isa.Opcode]float64{
+		isa.OpIMUL: b.IMULFraction,
+		isa.OpVOR:  vec,
+	}
+	rest := 1 - b.IMULFraction - vec
+	// A generic 2017-era mix: ~40 % ALU, 25 % loads, 10 % stores,
+	// 15 % branches, 10 % FP/other, scaled into the remaining share.
+	m[isa.OpALU] = 0.40 * rest
+	m[isa.OpLoad] = 0.25 * rest
+	m[isa.OpStore] = 0.10 * rest
+	m[isa.OpBranch] = 0.15 * rest
+	m[isa.OpFPAdd] = 0.06 * rest
+	m[isa.OpFPMul] = 0.03 * rest
+	m[isa.OpLEA] = 0.01 * rest
+	return m
+}

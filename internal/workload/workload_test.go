@@ -1,0 +1,293 @@
+package workload
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"suit/internal/isa"
+)
+
+func TestAllBenchmarksValidate(t *testing.T) {
+	for _, b := range All() {
+		if err := b.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	good := SPEC()[0]
+	mutations := []func(*Benchmark){
+		func(b *Benchmark) { b.Name = "" },
+		func(b *Benchmark) { b.IPC = 0 },
+		func(b *Benchmark) { b.IMULFraction = -0.1 },
+		func(b *Benchmark) { b.IMULFraction = 0.5 },
+		func(b *Benchmark) { b.BurstEvery = -1 },
+		func(b *Benchmark) { b.BurstLen = 0 },
+		func(b *Benchmark) { b.BurstIntraGap = 0 },
+		func(b *Benchmark) { b.NoSIMD = map[CPUFamily]float64{Intel: 0} },
+	}
+	for i, mut := range mutations {
+		b := good
+		mut(&b)
+		if err := b.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSuiteComposition(t *testing.T) {
+	// SPEC CPU2017: 10 intrate + 13 fprate benchmarks.
+	var nInt, nFP int
+	for _, b := range SPEC() {
+		switch b.Suite {
+		case SPECint:
+			nInt++
+		case SPECfp:
+			nFP++
+		default:
+			t.Errorf("%s has suite %v", b.Name, b.Suite)
+		}
+	}
+	if nInt != 10 || nFP != 13 {
+		t.Errorf("suite sizes int=%d fp=%d, want 10/13", nInt, nFP)
+	}
+	if len(All()) != 25 {
+		t.Errorf("All() = %d workloads, want 25 (23 SPEC + nginx + VLC)", len(All()))
+	}
+}
+
+func TestUniqueNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, b := range All() {
+		if seen[b.Name] {
+			t.Errorf("duplicate workload %s", b.Name)
+		}
+		seen[b.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, ok := ByName("557.xz")
+	if !ok || b.Name != "557.xz" {
+		t.Fatal("ByName(557.xz) failed")
+	}
+	if _, ok := ByName("999.nope"); ok {
+		t.Error("ByName found a phantom workload")
+	}
+}
+
+func TestIMULFractionsMatchPaper(t *testing.T) {
+	// §6.1: 0.99 % of 525.x264's instructions are IMUL, 0.07 % on
+	// average over all other benchmarks.
+	x264, _ := ByName("525.x264")
+	if math.Abs(x264.IMULFraction-0.0099) > 1e-9 {
+		t.Errorf("x264 IMUL fraction = %v, want 0.0099", x264.IMULFraction)
+	}
+	var sum float64
+	var n int
+	for _, b := range SPEC() {
+		if b.Name != "525.x264" {
+			sum += b.IMULFraction
+			n++
+		}
+	}
+	avg := sum / float64(n)
+	if avg < 0.0004 || avg > 0.0010 {
+		t.Errorf("average IMUL fraction of others = %v, want ≈0.0007", avg)
+	}
+}
+
+func TestTable4MeasuredValues(t *testing.T) {
+	// The six benchmarks Table 4 reports explicitly.
+	cases := []struct {
+		name       string
+		intel, amd float64
+	}{
+		{"508.namd", -0.22, -0.35},
+		{"521.wrf", -0.014, -0.053},
+		{"538.imagick", -0.12, -0.09},
+		{"554.roms", -0.033, -0.19},
+		{"525.x264", 0.07, 0.22},
+		{"548.exchange2", 0.077, 0.068},
+	}
+	for _, c := range cases {
+		b, ok := ByName(c.name)
+		if !ok {
+			t.Fatalf("%s missing", c.name)
+		}
+		if math.Abs(b.NoSIMD[Intel]-c.intel) > 1e-9 {
+			t.Errorf("%s Intel noSIMD = %v, want %v", c.name, b.NoSIMD[Intel], c.intel)
+		}
+		if math.Abs(b.NoSIMD[AMD]-c.amd) > 1e-9 {
+			t.Errorf("%s AMD noSIMD = %v, want %v", c.name, b.NoSIMD[AMD], c.amd)
+		}
+	}
+}
+
+func TestTable4SuiteMeans(t *testing.T) {
+	// Table 4 suite rows: i9 fprate −4.1 %, intrate +0.5 %;
+	// 7700X fprate −5.9 %, intrate +2.6 %.
+	cases := []struct {
+		suite Suite
+		fam   CPUFamily
+		want  float64
+	}{
+		{SPECfp, Intel, -0.041},
+		{SPECint, Intel, +0.005},
+		{SPECfp, AMD, -0.059},
+		{SPECint, AMD, +0.026},
+	}
+	for _, c := range cases {
+		got := SuiteMeanNoSIMD(c.suite, c.fam)
+		if math.Abs(got-c.want) > 0.002 {
+			t.Errorf("%v/%v mean = %.4f, want %.4f", c.suite, c.fam, got, c.want)
+		}
+	}
+	if SuiteMeanNoSIMD(Network, Intel) != 0 {
+		t.Error("network suite mean over SPEC() must be 0 (no members)")
+	}
+}
+
+func TestTraceSpecGeneratesBurstyNetworkTraces(t *testing.T) {
+	for _, b := range []Benchmark{Nginx(), VLC()} {
+		tr, err := b.GenerateTrace(50_000_000, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if len(tr.Events) == 0 {
+			t.Fatalf("%s trace empty", b.Name)
+		}
+		// AES must dominate (§5.1: encryption bursts).
+		byOp := tr.CountByOpcode()
+		if byOp[isa.OpAESENC] == 0 {
+			t.Errorf("%s has no AESENC events", b.Name)
+		}
+		// Network traces are dense: nginx ≈1.3 % of instructions.
+		density := tr.Density()
+		if b.Name == "nginx" && (density < 0.004 || density > 0.05) {
+			t.Errorf("nginx density = %v, want ≈0.013", density)
+		}
+	}
+}
+
+func TestTraceSpecSPECDensities(t *testing.T) {
+	// Sparse benchmarks (557.xz) vs dense ones (520.omnetpp) must differ
+	// by orders of magnitude.
+	xz, _ := ByName("557.xz")
+	omnet, _ := ByName("520.omnetpp")
+	txz, err := xz.GenerateTrace(500_000_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tom, err := omnet.GenerateTrace(500_000_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if txz.Density()*20 > tom.Density() {
+		t.Errorf("xz density %v not ≪ omnetpp density %v", txz.Density(), tom.Density())
+	}
+}
+
+func TestMixSumsToOne(t *testing.T) {
+	for _, b := range All() {
+		mix := b.Mix()
+		var sum float64
+		for op, f := range mix {
+			if f < 0 {
+				t.Errorf("%s mix[%v] negative", b.Name, op)
+			}
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s mix sums to %v", b.Name, sum)
+		}
+		if mix[isa.OpIMUL] != b.IMULFraction {
+			t.Errorf("%s mix IMUL = %v, want %v", b.Name, mix[isa.OpIMUL], b.IMULFraction)
+		}
+	}
+}
+
+func TestSuiteAndFamilyStrings(t *testing.T) {
+	if SPECint.String() != "SPECint" || SPECfp.String() != "SPECfp" || Network.String() != "network" {
+		t.Error("suite strings wrong")
+	}
+	if !strings.Contains(Suite(9).String(), "9") {
+		t.Error("unknown suite string wrong")
+	}
+	if Intel.String() != "i9-9900K" || AMD.String() != "7700X" {
+		t.Error("family strings wrong")
+	}
+}
+
+func TestGenerateTraceDeterministic(t *testing.T) {
+	b, _ := ByName("502.gcc")
+	a1, err := b.GenerateTrace(100_000_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := b.GenerateTrace(100_000_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1.Events) != len(a2.Events) {
+		t.Fatal("trace generation not deterministic")
+	}
+	for i := range a1.Events {
+		if a1.Events[i] != a2.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestBenchmarkJSONRoundTrip(t *testing.T) {
+	for _, b := range All() {
+		data, err := json.Marshal(b)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		var back Benchmark
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if !reflect.DeepEqual(b, back) {
+			t.Errorf("%s round trip mismatch:\n in  %+v\n out %+v", b.Name, b, back)
+		}
+	}
+}
+
+func TestBenchmarkJSONDefaults(t *testing.T) {
+	var b Benchmark
+	err := json.Unmarshal([]byte(`{"name":"custom","ipc":1.5,"poissonGap":5000,"diffuseOp":"VAND"}`), &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Suite != Network {
+		t.Errorf("default suite = %v", b.Suite)
+	}
+	if b.NoSIMD[Intel] != 0 || b.NoSIMD[AMD] != 0 {
+		t.Error("missing noSIMD not defaulted to zero")
+	}
+	if b.DiffuseOp != isa.OpVAND {
+		t.Errorf("diffuse op = %v", b.DiffuseOp)
+	}
+}
+
+func TestBenchmarkJSONRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`{"name":"x","ipc":0}`,                               // invalid IPC
+		`{"name":"x","ipc":1,"suite":"bogus"}`,               // unknown suite
+		`{"name":"x","ipc":1,"burstOp":"FROB"}`,              // unknown opcode
+		`{"name":"x","ipc":1,"noSIMD":{"sparc":0.1}}`,        // unknown family
+		`{"name":"x","ipc":1,"burstEvery":100,"burstLen":0}`, // incomplete burst
+	}
+	for _, c := range cases {
+		var b Benchmark
+		if err := json.Unmarshal([]byte(c), &b); err == nil {
+			t.Errorf("accepted %s", c)
+		}
+	}
+}
