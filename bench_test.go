@@ -46,6 +46,17 @@ func mustRun(b *testing.B, s core.Scenario) core.Outcome {
 	return o
 }
 
+// mustRunAll fans independent scenarios out through the shared parallel
+// experiment engine and returns their outcomes in scenario order.
+func mustRunAll(b *testing.B, scs ...core.Scenario) []core.Outcome {
+	b.Helper()
+	outs, err := core.RunAll(scs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return outs
+}
+
 func mustBench(b *testing.B, name string) workload.Benchmark {
 	b.Helper()
 	w, ok := workload.ByName(name)
@@ -305,13 +316,14 @@ func BenchmarkTable7(b *testing.B) {
 func BenchmarkTable8(b *testing.B) {
 	var suitPerf, nsPerf float64
 	for i := 0; i < b.N; i++ {
-		s := mustRun(b, core.Scenario{
-			Chip: dvfs.XeonSilver4208(), Bench: mustBench(b, "508.namd"),
-			Kind: core.KindFV, SpendAging: true, Instructions: benchInstr, Seed: uint64(i + 1)})
-		n := mustRun(b, core.Scenario{
-			Chip: dvfs.XeonSilver4208(), Bench: mustBench(b, "508.namd"),
-			Kind: core.KindNoSIMD, SpendAging: true, Instructions: benchInstr, Seed: uint64(i + 1)})
-		suitPerf, nsPerf = s.Change.Perf, n.Change.Perf
+		outs := mustRunAll(b,
+			core.Scenario{
+				Chip: dvfs.XeonSilver4208(), Bench: mustBench(b, "508.namd"),
+				Kind: core.KindFV, SpendAging: true, Instructions: benchInstr, Seed: uint64(i + 1)},
+			core.Scenario{
+				Chip: dvfs.XeonSilver4208(), Bench: mustBench(b, "508.namd"),
+				Kind: core.KindNoSIMD, SpendAging: true, Instructions: benchInstr, Seed: uint64(i + 1)})
+		suitPerf, nsPerf = outs[0].Change.Perf, outs[1].Change.Perf
 	}
 	b.ReportMetric((suitPerf-nsPerf)*100, "suit-advantage-%")
 }
@@ -403,12 +415,14 @@ func BenchmarkAblationThrashing(b *testing.B) {
 		pOn := strategy.ParamsAC()
 		pOff := pOn
 		pOff.DeadlineFactor = 1 // multiplying by 1 disables the extension
-		on = mustRun(b, core.Scenario{Chip: dvfs.XeonSilver4208(), Bench: wl,
-			Kind: core.KindFV, SpendAging: true, Instructions: benchInstr,
-			Params: &pOn, Seed: uint64(i + 1)})
-		off = mustRun(b, core.Scenario{Chip: dvfs.XeonSilver4208(), Bench: wl,
-			Kind: core.KindFV, SpendAging: true, Instructions: benchInstr,
-			Params: &pOff, Seed: uint64(i + 1)})
+		outs := mustRunAll(b,
+			core.Scenario{Chip: dvfs.XeonSilver4208(), Bench: wl,
+				Kind: core.KindFV, SpendAging: true, Instructions: benchInstr,
+				Params: &pOn, Seed: uint64(i + 1)},
+			core.Scenario{Chip: dvfs.XeonSilver4208(), Bench: wl,
+				Kind: core.KindFV, SpendAging: true, Instructions: benchInstr,
+				Params: &pOff, Seed: uint64(i + 1)})
+		on, off = outs[0], outs[1]
 	}
 	b.ReportMetric(on.Change.Perf*100, "perf-with-%")
 	b.ReportMetric(off.Change.Perf*100, "perf-without-%")
@@ -420,11 +434,12 @@ func BenchmarkAblationStrategy(b *testing.B) {
 	wl := mustBench(b, "502.gcc")
 	var fv, f, v core.Outcome
 	for i := 0; i < b.N; i++ {
-		run := func(k core.StrategyKind) core.Outcome {
-			return mustRun(b, core.Scenario{Chip: dvfs.XeonSilver4208(), Bench: wl,
-				Kind: k, SpendAging: true, Instructions: benchInstr, Seed: uint64(i + 1)})
+		sc := func(k core.StrategyKind) core.Scenario {
+			return core.Scenario{Chip: dvfs.XeonSilver4208(), Bench: wl,
+				Kind: k, SpendAging: true, Instructions: benchInstr, Seed: uint64(i + 1)}
 		}
-		fv, f, v = run(core.KindFV), run(core.KindFreq), run(core.KindVolt)
+		outs := mustRunAll(b, sc(core.KindFV), sc(core.KindFreq), sc(core.KindVolt))
+		fv, f, v = outs[0], outs[1], outs[2]
 	}
 	b.ReportMetric(fv.Efficiency*100, "fV-eff-%")
 	b.ReportMetric(f.Efficiency*100, "f-eff-%")
@@ -437,10 +452,12 @@ func BenchmarkAblationDomains(b *testing.B) {
 	wl := mustBench(b, "502.gcc")
 	var single, perCore core.Outcome
 	for i := 0; i < b.N; i++ {
-		single = mustRun(b, core.Scenario{Chip: dvfs.IntelI9_9900K(), Bench: wl,
-			Kind: core.KindFV, Cores: 4, SpendAging: true, Instructions: benchInstr, Seed: uint64(i + 1)})
-		perCore = mustRun(b, core.Scenario{Chip: dvfs.XeonSilver4208(), Bench: wl,
-			Kind: core.KindFV, Cores: 4, SpendAging: true, Instructions: benchInstr, Seed: uint64(i + 1)})
+		outs := mustRunAll(b,
+			core.Scenario{Chip: dvfs.IntelI9_9900K(), Bench: wl,
+				Kind: core.KindFV, Cores: 4, SpendAging: true, Instructions: benchInstr, Seed: uint64(i + 1)},
+			core.Scenario{Chip: dvfs.XeonSilver4208(), Bench: wl,
+				Kind: core.KindFV, Cores: 4, SpendAging: true, Instructions: benchInstr, Seed: uint64(i + 1)})
+		single, perCore = outs[0], outs[1]
 	}
 	b.ReportMetric(single.Change.Perf*100, "single-domain-perf-%")
 	b.ReportMetric(perCore.Change.Perf*100, "per-core-perf-%")
@@ -528,16 +545,16 @@ func BenchmarkScheduling(b *testing.B) {
 func BenchmarkAblationAdaptiveDeadline(b *testing.B) {
 	var fixedXZ, adaptXZ, fixedCam, adaptCam core.Outcome
 	for i := 0; i < b.N; i++ {
-		runOne := func(name string, kind core.StrategyKind) core.Outcome {
-			return mustRun(b, core.Scenario{
+		sc := func(name string, kind core.StrategyKind) core.Scenario {
+			return core.Scenario{
 				Chip: dvfs.XeonSilver4208(), Bench: mustBench(b, name), Kind: kind,
 				SpendAging: true, Instructions: benchInstr, Seed: uint64(i + 1),
-			})
+			}
 		}
-		fixedXZ = runOne("557.xz", core.KindFV)
-		adaptXZ = runOne("557.xz", core.KindAdaptive)
-		fixedCam = runOne("527.cam4", core.KindFV)
-		adaptCam = runOne("527.cam4", core.KindAdaptive)
+		outs := mustRunAll(b,
+			sc("557.xz", core.KindFV), sc("557.xz", core.KindAdaptive),
+			sc("527.cam4", core.KindFV), sc("527.cam4", core.KindAdaptive))
+		fixedXZ, adaptXZ, fixedCam, adaptCam = outs[0], outs[1], outs[2], outs[3]
 	}
 	b.ReportMetric(fixedXZ.Efficiency*100, "xz-fixed-eff-%")
 	b.ReportMetric(adaptXZ.Efficiency*100, "xz-adaptive-eff-%")

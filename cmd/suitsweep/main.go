@@ -3,9 +3,16 @@
 // reproducing the methodology behind Table 7 ("we ran hundreds of
 // simulations to find the optimal values").
 //
+// The sweep fans out through the shared parallel experiment engine
+// (internal/engine): -j bounds the worker pool, -cache reuses results
+// across runs, and per-point seeds derive deterministically from the
+// point fingerprint plus -seed, so the report is byte-identical at any
+// parallelism level. Progress and throughput go to stderr; the table
+// itself goes to stdout.
+//
 // Example:
 //
-//	suitsweep -chip C -offset 97 -instr 3e8
+//	suitsweep -chip C -offset 97 -instr 3e8 -j 8 -cache /tmp/sweepcache
 package main
 
 import (
@@ -16,10 +23,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 
 	"suit/internal/core"
 	"suit/internal/dvfs"
+	"suit/internal/engine"
 	"suit/internal/metrics"
 	"suit/internal/report"
 	"suit/internal/strategy"
@@ -33,37 +40,31 @@ type sweepPoint struct {
 	eff float64
 }
 
-func main() {
-	var (
-		chipName = flag.String("chip", "C", "CPU model: A, B, C")
-		offset   = flag.Int("offset", 97, "undervolt in mV: 70 or 97")
-		instrStr = flag.String("instr", "3e8", "instructions per run")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		top      = flag.Int("top", 10, "how many settings to print")
-	)
-	flag.Parse()
+// knownChips maps the -chip letters to chip models, in flag-help order.
+var knownChips = []struct {
+	letter string
+	chip   func() dvfs.Chip
+}{
+	{"A", dvfs.IntelI9_9900K},
+	{"B", dvfs.AMDRyzen7700X},
+	{"C", dvfs.XeonSilver4208},
+}
 
-	var chip dvfs.Chip
-	switch strings.ToUpper(*chipName) {
-	case "A":
-		chip = dvfs.IntelI9_9900K()
-	case "B":
-		chip = dvfs.AMDRyzen7700X()
-	case "C":
-		chip = dvfs.XeonSilver4208()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown chip %q\n", *chipName)
-		os.Exit(2)
+// chipByName resolves a -chip value, case-insensitively.
+func chipByName(name string) (dvfs.Chip, error) {
+	var letters []string
+	for _, k := range knownChips {
+		if strings.EqualFold(name, k.letter) {
+			return k.chip(), nil
+		}
+		letters = append(letters, k.letter)
 	}
-	totalF, err := strconv.ParseFloat(*instrStr, 64)
-	if err != nil || totalF < 1e6 {
-		fmt.Fprintf(os.Stderr, "bad -instr %q\n", *instrStr)
-		os.Exit(2)
-	}
-	instr := uint64(totalF)
+	return dvfs.Chip{}, fmt.Errorf("unknown chip %q (known: %s)", name, strings.Join(letters, ", "))
+}
 
-	// Sweep grid around the Table 7 region. CPU ℬ's slow switching gets
-	// a coarser, longer-deadline grid.
+// sweepGrid builds the Table 7 search region for a chip. CPU ℬ's slow
+// switching gets a coarser, longer-deadline grid.
+func sweepGrid(chip dvfs.Chip) []strategy.Params {
 	deadlines := []float64{10, 20, 30, 50, 80} // µs
 	spans := []float64{150, 450, 900}          // µs
 	if chip.Transition.FreqDelay > units.Microseconds(100) {
@@ -72,17 +73,6 @@ func main() {
 	}
 	counts := []int{2, 3, 4, 6}
 	factors := []float64{4, 9, 14, 20}
-
-	// A representative workload mix: sparse, medium, dense, bursty.
-	var benches []workload.Benchmark
-	for _, n := range []string{"557.xz", "502.gcc", "527.cam4", "525.x264", "VLC"} {
-		b, ok := workload.ByName(n)
-		if !ok {
-			fmt.Fprintln(os.Stderr, "missing workload", n)
-			os.Exit(1)
-		}
-		benches = append(benches, b)
-	}
 
 	var grid []strategy.Params
 	for _, dl := range deadlines {
@@ -99,55 +89,113 @@ func main() {
 			}
 		}
 	}
+	return grid
+}
+
+// sweepBenches is the representative workload mix: sparse, medium,
+// dense, bursty.
+func sweepBenches() ([]workload.Benchmark, error) {
+	var benches []workload.Benchmark
+	for _, n := range []string{"557.xz", "502.gcc", "527.cam4", "525.x264", "VLC"} {
+		b, ok := workload.ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("missing workload %s", n)
+		}
+		benches = append(benches, b)
+	}
+	return benches, nil
+}
+
+// sweep evaluates the whole grid × workload matrix through the engine
+// and aggregates the per-point mean efficiency, preserving grid order.
+func sweep(chip dvfs.Chip, grid []strategy.Params, benches []workload.Benchmark, spendAging bool, instr uint64) ([]sweepPoint, error) {
+	scs := make([]core.Scenario, 0, len(grid)*len(benches))
+	for i := range grid {
+		for _, b := range benches {
+			scs = append(scs, core.Scenario{
+				Chip: chip, Bench: b, Kind: core.KindFV,
+				SpendAging: spendAging, Instructions: instr,
+				Params: &grid[i], // Seed 0: engine derives the per-point seed
+			})
+		}
+	}
+	outs, err := core.RunAll(scs)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]sweepPoint, len(grid))
+	for i := range grid {
+		effs := make([]float64, len(benches))
+		for j := range benches {
+			effs[j] = outs[i*len(benches)+j].Efficiency
+		}
+		mean, _ := metrics.Mean(effs)
+		points[i] = sweepPoint{p: grid[i], eff: mean}
+	}
+	// Rank by mean efficiency; exact ties keep grid order so the report
+	// never depends on sort internals.
+	sort.SliceStable(points, func(i, j int) bool { return points[i].eff > points[j].eff })
+	return points, nil
+}
+
+func main() {
+	var (
+		chipName = flag.String("chip", "C", "CPU model: A, B, C")
+		offset   = flag.Int("offset", 97, "undervolt in mV: 70 or 97")
+		instrStr = flag.String("instr", "3e8", "instructions per run")
+		seed     = flag.Uint64("seed", 1, "base seed for deterministic per-point seed derivation")
+		top      = flag.Int("top", 10, "how many settings to print (>= 1)")
+		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
+		cacheDir = flag.String("cache", "", "directory for the on-disk result cache (reused across runs)")
+	)
+	flag.Parse()
+
+	chip, err := chipByName(*chipName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *top < 1 {
+		fmt.Fprintf(os.Stderr, "bad -top %d: need at least one setting to print\n", *top)
+		os.Exit(2)
+	}
+	totalF, err := strconv.ParseFloat(*instrStr, 64)
+	if err != nil || totalF < 1e6 {
+		fmt.Fprintf(os.Stderr, "bad -instr %q\n", *instrStr)
+		os.Exit(2)
+	}
+	instr := uint64(totalF)
+
+	core.SetEngineOptions(engine.Options{
+		Workers:  *workers,
+		BaseSeed: *seed,
+		CacheDir: *cacheDir,
+		Progress: os.Stderr,
+		Label:    "suitsweep",
+	})
+
+	grid := sweepGrid(chip)
+	benches, err := sweepBenches()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Printf("sweeping %d parameter settings × %d workloads on %s at −%d mV...\n",
 		len(grid), len(benches), chip.Name, *offset)
 
-	results := make([]sweepPoint, len(grid))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	var firstErr error
-	var mu sync.Mutex
-	for i, p := range grid {
-		wg.Add(1)
-		go func(i int, p strategy.Params) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			var effs []float64
-			for _, b := range benches {
-				pp := p
-				o, err := core.Run(core.Scenario{
-					Chip: chip, Bench: b, Kind: core.KindFV,
-					SpendAging: *offset == 97, Instructions: instr,
-					Params: &pp, Seed: *seed,
-				})
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-				effs = append(effs, o.Efficiency)
-			}
-			mean, _ := metrics.Mean(effs)
-			results[i] = sweepPoint{p: p, eff: mean}
-		}(i, p)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		fmt.Fprintln(os.Stderr, firstErr)
+	results, err := sweep(chip, grid, benches, *offset == 97, instr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	sort.Slice(results, func(i, j int) bool { return results[i].eff > results[j].eff })
-	t := report.NewTable(fmt.Sprintf("Top %d parameter settings (mean efficiency over %d workloads)", *top, len(benches)),
+	n := *top
+	if n > len(results) {
+		n = len(results)
+	}
+	t := report.NewTable(fmt.Sprintf("Top %d parameter settings (mean efficiency over %d workloads)", n, len(benches)),
 		"p_dl", "p_ts", "p_ec", "p_df", "efficiency")
-	for i, r := range results {
-		if i >= *top {
-			break
-		}
+	for _, r := range results[:n] {
 		t.AddRow(r.p.Deadline.String(), r.p.TimeSpan.String(),
 			fmt.Sprintf("%d", r.p.MaxExceptions), fmt.Sprintf("%.0f", r.p.DeadlineFactor),
 			report.Pct(r.eff))
@@ -159,4 +207,5 @@ func main() {
 	spread := results[0].eff - results[len(results)-1].eff
 	fmt.Printf("\nbest-to-worst spread: %.2f points — the paper notes workloads tolerate a wide range (§6.4)\n", spread*100)
 	fmt.Printf("Table 7 reference: 𝒜&𝒞 30 µs/450 µs/3/14; ℬ 700 µs/14 ms/4/9\n")
+	fmt.Fprintf(os.Stderr, "suitsweep: %s\n", core.EngineStats())
 }

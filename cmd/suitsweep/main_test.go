@@ -1,0 +1,79 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"suit/internal/core"
+	"suit/internal/dvfs"
+	"suit/internal/engine"
+)
+
+func TestChipByName(t *testing.T) {
+	for _, name := range []string{"A", "a", "B", "c"} {
+		if _, err := chipByName(name); err != nil {
+			t.Errorf("chip %q rejected: %v", name, err)
+		}
+	}
+	_, err := chipByName("Z")
+	if err == nil {
+		t.Fatal("unknown chip accepted")
+	}
+	if !strings.Contains(err.Error(), `"Z"`) || !strings.Contains(err.Error(), "A, B, C") {
+		t.Errorf("unknown-chip error should name the value and the known set: %v", err)
+	}
+}
+
+func TestSweepGridShape(t *testing.T) {
+	fast := sweepGrid(dvfs.XeonSilver4208())
+	slow := sweepGrid(dvfs.AMDRyzen7700X())
+	if len(fast) != 240 || len(slow) != 240 {
+		t.Fatalf("grid sizes %d/%d, want 240 (5 deadlines × 3 spans × 4 counts × 4 factors)", len(fast), len(slow))
+	}
+	// CPU ℬ's slow frequency switching must push the grid to longer
+	// deadlines.
+	if slow[0].Deadline <= fast[len(fast)-1].Deadline {
+		t.Errorf("ℬ grid deadline %v not beyond the fast grid's %v", slow[0].Deadline, fast[len(fast)-1].Deadline)
+	}
+	for _, p := range fast {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("grid point invalid: %v", err)
+		}
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers runs a miniature sweep at -j 1 and
+// -j 8 and demands identical ranked results — the acceptance contract of
+// the parallel engine.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	chip := dvfs.XeonSilver4208()
+	grid := sweepGrid(chip)[:3]
+	benches, err := sweepBenches()
+	if err != nil {
+		t.Fatal(err)
+	}
+	benches = benches[:2]
+
+	var runs [][]sweepPoint
+	for _, workers := range []int{1, 8} {
+		core.SetEngineOptions(engine.Options{Workers: workers, BaseSeed: 1})
+		points, err := sweep(chip, grid, benches, true, 2_000_000)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		runs = append(runs, points)
+	}
+	core.SetEngineOptions(engine.Options{}) // restore defaults for other tests
+	if !reflect.DeepEqual(runs[0], runs[1]) {
+		t.Fatalf("sweep diverged across worker counts:\n-j 1: %+v\n-j 8: %+v", runs[0], runs[1])
+	}
+	// Seeds derive per point, so distinct grid points must not share one.
+	k0 := core.Scenario{Chip: chip, Bench: benches[0], Kind: core.KindFV,
+		SpendAging: true, Instructions: 2_000_000, Params: &grid[0]}.Fingerprint()
+	k1 := core.Scenario{Chip: chip, Bench: benches[0], Kind: core.KindFV,
+		SpendAging: true, Instructions: 2_000_000, Params: &grid[1]}.Fingerprint()
+	if engine.DeriveSeed(1, k0) == engine.DeriveSeed(1, k1) {
+		t.Error("distinct sweep points derived the same seed")
+	}
+}

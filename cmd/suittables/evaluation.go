@@ -84,20 +84,26 @@ func runTable7(c cfg, w *os.File) error {
 	}
 
 	// Sensitivity: efficiency of a mid-density benchmark under deadline
-	// variations.
+	// variations, fanned out through the shared engine.
 	gcc, _ := workload.ByName("502.gcc")
 	chip := dvfs.XeonSilver4208()
+	deadlines := []float64{10, 20, 30, 40, 60, 120}
+	params := make([]strategy.Params, len(deadlines))
+	scs := make([]core.Scenario, len(deadlines))
+	for i, dl := range deadlines {
+		params[i] = strategy.ParamsAC()
+		params[i].Deadline = units.Microseconds(dl)
+		scs[i] = core.Scenario{Chip: chip, Bench: gcc, Kind: core.KindFV,
+			SpendAging: true, Instructions: c.specInstr / 2, Params: &params[i], Seed: c.seed}
+	}
+	outs, err := core.RunAll(scs)
+	if err != nil {
+		return err
+	}
 	st := report.NewTable("\nDeadline sensitivity (502.gcc on 𝒞, −97 mV)",
 		"p_dl", "efficiency", "E-share")
-	for _, dl := range []float64{10, 20, 30, 40, 60, 120} {
-		p := strategy.ParamsAC()
-		p.Deadline = units.Microseconds(dl)
-		o, err := core.Run(core.Scenario{Chip: chip, Bench: gcc, Kind: core.KindFV,
-			SpendAging: true, Instructions: c.specInstr / 2, Params: &p, Seed: c.seed})
-		if err != nil {
-			return err
-		}
-		st.AddRow(fmt.Sprintf("%.0f µs", dl), report.Pct(o.Efficiency),
+	for i, o := range outs {
+		st.AddRow(fmt.Sprintf("%.0f µs", deadlines[i]), report.Pct(o.Efficiency),
 			fmt.Sprintf("%.1f %%", o.EfficientShare*100))
 	}
 	return st.Render(w)
@@ -126,20 +132,21 @@ func runFig16(c cfg, w *os.File) error {
 		lo   core.Outcome
 		hi   core.Outcome
 	}
-	var rows []rowData
 	benches := append(workload.SPEC(), workload.Nginx(), workload.VLC())
+	var scs []core.Scenario
 	for _, b := range benches {
-		lo, err := core.Run(core.Scenario{Chip: chip, Bench: b, Kind: core.KindFV,
-			SpendAging: false, Instructions: c.specInstr, Seed: c.seed})
-		if err != nil {
-			return err
+		for _, aging := range []bool{false, true} {
+			scs = append(scs, core.Scenario{Chip: chip, Bench: b, Kind: core.KindFV,
+				SpendAging: aging, Instructions: c.specInstr, Seed: c.seed})
 		}
-		hi, err := core.Run(core.Scenario{Chip: chip, Bench: b, Kind: core.KindFV,
-			SpendAging: true, Instructions: c.specInstr, Seed: c.seed})
-		if err != nil {
-			return err
-		}
-		rows = append(rows, rowData{b.Name, lo, hi})
+	}
+	outs, err := core.RunAll(scs)
+	if err != nil {
+		return err
+	}
+	var rows []rowData
+	for i, b := range benches {
+		rows = append(rows, rowData{b.Name, outs[2*i], outs[2*i+1]})
 	}
 	// Paper orders the x-axis by decreasing benefit.
 	sort.Slice(rows, func(i, j int) bool { return rows[i].hi.Efficiency > rows[j].hi.Efficiency })

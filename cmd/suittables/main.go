@@ -17,8 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+
+	"suit/internal/core"
+	"suit/internal/engine"
 )
 
 type experiment struct {
@@ -66,12 +70,21 @@ var experiments = []experiment{
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id to run, or 'all'")
-		quick  = flag.Bool("quick", false, "shorter simulations (lower fidelity)")
-		seed   = flag.Uint64("seed", 1, "simulation seed")
-		outDir = flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
+		exp      = flag.String("exp", "all", "experiment id to run, or 'all'")
+		quick    = flag.Bool("quick", false, "shorter simulations (lower fidelity)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		outDir   = flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
+		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
+		cacheDir = flag.String("cache", "", "directory for the on-disk result cache (reused across runs)")
 	)
 	flag.Parse()
+	core.SetEngineOptions(engine.Options{
+		Workers:  *workers,
+		BaseSeed: *seed,
+		CacheDir: *cacheDir,
+		Progress: os.Stderr,
+		Label:    "suittables",
+	})
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)

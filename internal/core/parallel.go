@@ -1,0 +1,97 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"suit/internal/engine"
+	"suit/internal/workload"
+)
+
+// Fingerprint returns the canonical description of the scenario used as
+// the engine's memoization key and as the input to deterministic seed
+// derivation. Two scenarios with equal fingerprints produce equal
+// outcomes, so the fingerprint must cover every field that influences the
+// simulation — including a zero Seed, which marks the scenario as wanting
+// an engine-derived seed.
+func (s Scenario) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chip=%s|kind=%s|cores=%d|bench=%s", s.Chip.Name, s.Kind, s.Cores, benchFingerprint(s.Bench))
+	for _, cb := range s.CoBenches {
+		fmt.Fprintf(&b, "|co=%s", benchFingerprint(cb))
+	}
+	fmt.Fprintf(&b, "|aging=%t|instr=%d|seed=%d|timeline=%t|sample=%g",
+		s.SpendAging, s.Instructions, s.Seed, s.RecordTimeline, float64(s.SampleEvery))
+	if s.Params != nil {
+		p := s.Params
+		fmt.Fprintf(&b, "|params=%g/%g/%d/%g",
+			float64(p.Deadline), float64(p.TimeSpan), p.MaxExceptions, p.DeadlineFactor)
+	}
+	return b.String()
+}
+
+// benchFingerprint canonicalises a benchmark. Named workloads from the
+// registry are fully determined by their name, but ad-hoc benchmarks
+// (synthetic traces in tests and ablations) may reuse names, so the
+// arrival-model parameters are spelled out. The NoSIMD map is emitted in
+// fixed family order — never by map iteration.
+func benchFingerprint(b workload.Benchmark) string {
+	return fmt.Sprintf("%s/%d/%g/%g/%g/%g/%d/%g/%g/%d/%d/%t/%g/%g",
+		b.Name, b.Suite, b.IPC, b.IMULFraction,
+		b.BurstEvery, b.BurstLen, b.BurstIntraGap, b.BurstSigma, b.PoissonGap,
+		b.BurstOp, b.DiffuseOp, b.TEE,
+		b.NoSIMD[workload.Intel], b.NoSIMD[workload.AMD])
+}
+
+// runJob adapts Run to the engine's job signature: scenarios with an
+// explicit Seed keep it; a zero Seed takes the engine-derived one (hash
+// of fingerprint + base seed), giving every sweep point its own
+// deterministic stream.
+func runJob(sc Scenario, seed uint64) (Outcome, error) {
+	if sc.Seed == 0 {
+		sc.Seed = seed
+	}
+	return Run(sc)
+}
+
+var (
+	engMu      sync.Mutex
+	sharedEng  *engine.Engine[Scenario, Outcome]
+	sharedOpts engine.Options
+)
+
+// SetEngineOptions replaces the process-wide evaluation engine (worker
+// count, base seed, disk cache, progress writer). Call it once at
+// startup, before the first RunAll; the in-memory memo of the previous
+// engine is discarded.
+func SetEngineOptions(o engine.Options) {
+	engMu.Lock()
+	defer engMu.Unlock()
+	sharedOpts = o
+	sharedEng = engine.New(Scenario.Fingerprint, runJob, o)
+}
+
+func getEngine() *engine.Engine[Scenario, Outcome] {
+	engMu.Lock()
+	defer engMu.Unlock()
+	if sharedEng == nil {
+		sharedEng = engine.New(Scenario.Fingerprint, runJob, sharedOpts)
+	}
+	return sharedEng
+}
+
+// RunAll evaluates the scenarios through the shared parallel engine and
+// returns outcomes in scenario order. Results are memoized by
+// fingerprint for the life of the process (and on disk when configured),
+// and are identical at any worker count.
+func RunAll(scs []Scenario) ([]Outcome, error) {
+	return getEngine().Run(context.Background(), scs)
+}
+
+// EngineStats reports the shared engine's cumulative job and cache-hit
+// accounting.
+func EngineStats() engine.Stats {
+	return getEngine().Stats()
+}

@@ -3,8 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"suit/internal/metrics"
 )
@@ -29,26 +27,14 @@ func RunN(s Scenario, n int) (Stats, error) {
 	if n < 2 {
 		return Stats{}, errors.New("core: RunN needs at least two seeds for a σ")
 	}
-	outs := make([]Outcome, n)
-	errs := make([]error, n)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			sc := s
-			sc.Seed = s.Seed + uint64(i)
-			outs[i], errs[i] = Run(sc)
-		}(i)
+	scs := make([]Scenario, n)
+	for i := range scs {
+		scs[i] = s
+		scs[i].Seed = s.Seed + uint64(i)
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return Stats{}, fmt.Errorf("core: seed %d: %w", s.Seed+uint64(i), err)
-		}
+	outs, err := RunAll(scs)
+	if err != nil {
+		return Stats{}, fmt.Errorf("core: %w", err)
 	}
 
 	collect := func(f func(Outcome) float64) (mean, sigma float64) {

@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"suit/internal/dvfs"
 	"suit/internal/metrics"
@@ -46,33 +44,18 @@ type SuiteResult struct {
 	MeanEfficientShare float64
 }
 
-// runParallel evaluates scenarios concurrently, keyed by workload name.
+// runParallel evaluates scenarios through the shared engine, keyed by
+// workload name.
 func runParallel(scs []Scenario) (map[string]Outcome, error) {
-	out := make(map[string]Outcome, len(scs))
-	var mu sync.Mutex
-	var firstErr error
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for _, sc := range scs {
-		wg.Add(1)
-		go func(sc Scenario) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			o, err := Run(sc)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%s/%s: %w", sc.Bench.Name, sc.Kind, err)
-				}
-				return
-			}
-			out[sc.Bench.Name] = o
-		}(sc)
+	outs, err := RunAll(scs)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	return out, firstErr
+	out := make(map[string]Outcome, len(outs))
+	for _, o := range outs {
+		out[o.Scenario.Bench.Name] = o
+	}
+	return out, nil
 }
 
 // EvaluateSuite produces one Table 6 row. instructions of 0 uses the
@@ -166,17 +149,19 @@ type Table8Row struct {
 // same chip/cores/offset under the row strategy and under noSIMD.
 func CompareNoSIMD(chip dvfs.Chip, kind StrategyKind, cores int, spendAging bool, instructions uint64, seed uint64) (Table8Row, error) {
 	row := Table8Row{Label: fmt.Sprintf("%s/%s", chip.Name, kind)}
+	var scs []Scenario
 	for _, b := range workload.SPEC() {
-		suit, err := Run(Scenario{Chip: chip, Bench: b, Kind: kind, Cores: cores,
-			SpendAging: spendAging, Instructions: instructions, Seed: seed})
-		if err != nil {
-			return row, err
+		for _, k := range []StrategyKind{kind, KindNoSIMD} {
+			scs = append(scs, Scenario{Chip: chip, Bench: b, Kind: k, Cores: cores,
+				SpendAging: spendAging, Instructions: instructions, Seed: seed})
 		}
-		ns, err := Run(Scenario{Chip: chip, Bench: b, Kind: KindNoSIMD, Cores: cores,
-			SpendAging: spendAging, Instructions: instructions, Seed: seed})
-		if err != nil {
-			return row, err
-		}
+	}
+	outs, err := RunAll(scs)
+	if err != nil {
+		return row, err
+	}
+	for i := 0; i < len(outs); i += 2 {
+		suit, ns := outs[i], outs[i+1]
 		if ns.Change.Perf > suit.Change.Perf {
 			row.NoSIMDBetter++
 		} else {

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// cacheEntry is the on-disk record: the full key is stored alongside the
+// result so a filename hash collision reads as a miss, never as a wrong
+// result.
+type cacheEntry struct {
+	Key    string          `json:"key"`
+	Result json.RawMessage `json:"result"`
+}
+
+// cachePath buckets entries by the SHA-256 of the cache key. The base
+// seed is part of the key so caches warmed under different -seed values
+// never alias.
+func (e *Engine[S, R]) cachePath(key string) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|base=%d", key, e.opts.BaseSeed)))
+	return filepath.Join(e.opts.CacheDir, hex.EncodeToString(sum[:16])+".json")
+}
+
+// diskGet loads a cached result. Any unreadable, foreign or stale entry
+// is treated as a miss.
+func (e *Engine[S, R]) diskGet(key string) (R, bool) {
+	var zero R
+	if e.opts.CacheDir == "" {
+		return zero, false
+	}
+	data, err := os.ReadFile(e.cachePath(key))
+	if err != nil {
+		return zero, false
+	}
+	var ent cacheEntry
+	if err := json.Unmarshal(data, &ent); err != nil || ent.Key != key {
+		return zero, false
+	}
+	var r R
+	if err := json.Unmarshal(ent.Result, &r); err != nil {
+		return zero, false
+	}
+	return r, true
+}
+
+// diskPut persists a result via write-to-temp + rename so concurrent
+// sweeps sharing a cache directory never observe torn files. Cache
+// writes are best-effort: a full disk or unmarshalable result type only
+// disables reuse, it never fails the sweep.
+func (e *Engine[S, R]) diskPut(key string, r R) {
+	if e.opts.CacheDir == "" {
+		return
+	}
+	raw, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	data, err := json.Marshal(cacheEntry{Key: key, Result: raw})
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(e.opts.CacheDir, 0o755); err != nil {
+		return
+	}
+	path := e.cachePath(key)
+	tmp, err := os.CreateTemp(e.opts.CacheDir, ".tmp-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

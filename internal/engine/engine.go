@@ -1,0 +1,312 @@
+// Package engine runs large batches of independent simulations — the
+// "hundreds of simulations" behind Table 7 and every other sweep-shaped
+// experiment — through one shared, deterministic parallel runner.
+//
+// The engine provides four things every sweep caller used to hand-roll:
+//
+//   - a bounded worker pool (GOMAXPROCS-sized by default, -j overridable)
+//     consuming a queue of simulation specs;
+//   - per-job deterministic seed derivation (a hash of the spec
+//     fingerprint mixed with a base seed), so results are identical at
+//     any parallelism level;
+//   - a memoized result store — always in memory, optionally on disk
+//     (-cache dir) — keyed by the canonical spec fingerprint, so repeated
+//     table/sweep runs skip already-computed points;
+//   - a progress/throughput reporter (jobs done, jobs/s, ETA) on stderr.
+//
+// Results come back in spec order regardless of completion order, which
+// together with the seed contract makes engine output a pure function of
+// (specs, base seed): `-j 1` and `-j 8` produce byte-identical reports.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures an Engine. The zero value is usable: GOMAXPROCS
+// workers, base seed 0, no disk cache, no progress output.
+type Options struct {
+	// Workers bounds the worker pool; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// BaseSeed is mixed into every derived job seed (see DeriveSeed).
+	BaseSeed uint64
+	// CacheDir, when non-empty, persists results as JSON files keyed by
+	// the spec fingerprint (plus BaseSeed), shared across processes.
+	CacheDir string
+	// Progress, when non-nil, receives periodic throughput lines and a
+	// final summary. Point it at os.Stderr to keep stdout reproducible.
+	Progress io.Writer
+	// ProgressEvery is the reporting interval; <= 0 means 1s.
+	ProgressEvery time.Duration
+	// Label prefixes progress lines; empty means "engine".
+	Label string
+}
+
+// Stats counts the engine's work since creation. Jobs is the number of
+// submitted specs; Unique excludes within-batch duplicates; Ran is the
+// number of specs actually simulated. MemHits/DiskHits count unique specs
+// resolved from the memo layers; HitRate is (MemHits+DiskHits)/Unique.
+type Stats struct {
+	Jobs     int64
+	Unique   int64
+	Ran      int64
+	MemHits  int64
+	DiskHits int64
+	// Elapsed is the wall-clock time spent inside Run calls.
+	Elapsed time.Duration
+}
+
+// Hits is the number of unique specs served from a cache layer.
+func (s Stats) Hits() int64 { return s.MemHits + s.DiskHits }
+
+// HitRate is the fraction of unique specs served from a cache layer.
+func (s Stats) HitRate() float64 {
+	if s.Unique == 0 {
+		return 0
+	}
+	return float64(s.Hits()) / float64(s.Unique)
+}
+
+// Throughput is the number of simulated specs per second of Run time.
+func (s Stats) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Ran) / s.Elapsed.Seconds()
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d jobs (%d unique), %d ran, %d memo + %d disk hits (%.1f%% hit rate), %.1f jobs/s",
+		s.Jobs, s.Unique, s.Ran, s.MemHits, s.DiskHits, s.HitRate()*100, s.Throughput())
+}
+
+// Engine runs spec-shaped jobs of type S producing results of type R.
+// An Engine is safe for concurrent use; the in-memory memo persists for
+// its lifetime.
+type Engine[S, R any] struct {
+	key  func(S) string
+	run  func(spec S, seed uint64) (R, error)
+	opts Options
+
+	mu    sync.Mutex
+	memo  map[string]R
+	stats Stats
+}
+
+// New builds an engine. key must return a canonical fingerprint: equal
+// fingerprints are assumed to denote identical work and are computed only
+// once. run receives the spec plus its derived seed (DeriveSeed of the
+// fingerprint); callers whose specs carry explicit seeds may ignore it.
+func New[S, R any](key func(S) string, run func(spec S, seed uint64) (R, error), opts Options) *Engine[S, R] {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.ProgressEvery <= 0 {
+		opts.ProgressEvery = time.Second
+	}
+	if opts.Label == "" {
+		opts.Label = "engine"
+	}
+	return &Engine[S, R]{key: key, run: run, opts: opts, memo: make(map[string]R)}
+}
+
+// Stats returns a snapshot of the cumulative accounting.
+func (e *Engine[S, R]) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// job groups all batch indices that share one fingerprint.
+type job[S any] struct {
+	key     string
+	spec    S
+	indices []int
+}
+
+// Run evaluates every spec and returns the results in spec order. The
+// first job error cancels the remaining queue and is returned; ctx
+// cancellation stops dispatching (in-flight jobs finish first) and
+// returns ctx.Err(). Run never leaks goroutines: all workers have exited
+// by the time it returns.
+func (e *Engine[S, R]) Run(ctx context.Context, specs []S) ([]R, error) {
+	start := time.Now()
+	results := make([]R, len(specs))
+
+	// Group duplicate fingerprints so each is computed once per batch.
+	byKey := make(map[string]*job[S], len(specs))
+	order := make([]*job[S], 0, len(specs))
+	for i, s := range specs {
+		k := e.key(s)
+		if j, ok := byKey[k]; ok {
+			j.indices = append(j.indices, i)
+			continue
+		}
+		j := &job[S]{key: k, spec: s, indices: []int{i}}
+		byKey[k] = j
+		order = append(order, j)
+	}
+
+	fill := func(j *job[S], r R) {
+		for _, i := range j.indices {
+			results[i] = r
+		}
+	}
+
+	// Resolve the memo layers before spinning up workers.
+	var pending []*job[S]
+	var memHits, diskHits int64
+	for _, j := range order {
+		e.mu.Lock()
+		r, ok := e.memo[j.key]
+		e.mu.Unlock()
+		if ok {
+			fill(j, r)
+			memHits++
+			continue
+		}
+		if r, ok := e.diskGet(j.key); ok {
+			e.mu.Lock()
+			e.memo[j.key] = r
+			e.mu.Unlock()
+			fill(j, r)
+			diskHits++
+			continue
+		}
+		pending = append(pending, j)
+	}
+
+	var done atomic.Int64
+	stopProgress := e.startProgress(&done, len(pending), start)
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	jobs := make(chan *job[S])
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	for w := 0; w < e.opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if runCtx.Err() != nil {
+					continue // drain the queue without working
+				}
+				r, err := e.run(j.spec, DeriveSeed(e.opts.BaseSeed, j.key))
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("engine: job %d/%d: %w", j.indices[0]+1, len(specs), err)
+					}
+					errMu.Unlock()
+					cancel()
+					continue
+				}
+				e.mu.Lock()
+				e.memo[j.key] = r
+				e.stats.Ran++
+				e.mu.Unlock()
+				e.diskPut(j.key, r)
+				fill(j, r)
+				done.Add(1)
+			}
+		}()
+	}
+feed:
+	for _, j := range pending {
+		select {
+		case jobs <- j:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	stopProgress()
+
+	e.mu.Lock()
+	e.stats.Jobs += int64(len(specs))
+	e.stats.Unique += int64(len(order))
+	e.stats.MemHits += memHits
+	e.stats.DiskHits += diskHits
+	e.stats.Elapsed += time.Since(start)
+	e.mu.Unlock()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// startProgress launches the throughput reporter; the returned func stops
+// it and prints the final line. A no-op when Progress is nil or the batch
+// resolved entirely from cache.
+func (e *Engine[S, R]) startProgress(done *atomic.Int64, total int, start time.Time) func() {
+	if e.opts.Progress == nil || total == 0 {
+		return func() {}
+	}
+	report := func(final bool) {
+		d := done.Load()
+		elapsed := time.Since(start).Seconds()
+		rate := float64(d) / elapsed
+		line := fmt.Sprintf("%s: %d/%d jobs, %.1f jobs/s", e.opts.Label, d, total, rate)
+		if !final && rate > 0 {
+			eta := time.Duration(float64(total-int(d))/rate*1e9) * time.Nanosecond
+			line += fmt.Sprintf(", ETA %s", eta.Round(time.Second))
+		}
+		fmt.Fprintln(e.opts.Progress, line)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(e.opts.ProgressEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				report(false)
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		wg.Wait()
+		report(true)
+	}
+}
+
+// DeriveSeed maps (base seed, spec fingerprint) to the job's simulation
+// seed: an FNV-1a hash of the fingerprint mixed with the base seed and
+// finalized with splitmix64. The derivation depends only on its inputs —
+// never on worker count or completion order — which is what makes sweep
+// output reproducible at any parallelism level. The result is never 0 so
+// downstream code can keep treating a zero seed as "unset".
+func DeriveSeed(base uint64, key string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	x := h.Sum64() ^ (base * 0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
