@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"suit/internal/analysis"
+	"suit/internal/analysis/load"
+)
+
+// TestRepoIsLintClean runs all four analyzers over the whole module
+// in-process and demands a clean tree: every remaining finding must be
+// fixed or carry an explained //lint:allow.
+func TestRepoIsLintClean(t *testing.T) {
+	pkgs, err := load.Packages("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analyzers())
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", pkg.Pkg.Path(), err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: [%s] %s", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+}
+
+// TestVettoolProtocol builds the binary and drives it through the real
+// cmd/go vet-tool handshake (-V=full, then per-package .cfg files).
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "suitlint")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building suitlint: %v\n%s", err, out)
+	}
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/units/...", "./internal/isa/...")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool failed: %v\n%s", err, out)
+	}
+}

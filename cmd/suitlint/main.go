@@ -1,0 +1,147 @@
+// Command suitlint is the SUIT simulator's static-analysis suite. It
+// bundles four domain analyzers:
+//
+//	determinism  no wall clock, global rand, unseeded sources or
+//	             order-dependent map iteration in result-affecting
+//	             packages (the engine's cross--j replay contract)
+//	exhaustive   switches over enum-like simulator types cover every
+//	             constant or panic in an explicit default
+//	units        no raw literals into internal/units quantity types,
+//	             no bare cross-unit conversions
+//	panicpath    panic only for machine invariants; I/O and command
+//	             paths return errors
+//
+// Findings are suppressed line-by-line with an explained comment:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// It runs in two modes:
+//
+//	suitlint [packages]            standalone, e.g. suitlint ./...
+//	go vet -vettool=suitlint pkgs  as a vet tool (cmd/go protocol)
+//
+// Exit status is 0 when the tree is clean, 2 when diagnostics were
+// reported, 1 on usage or load errors.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"suit/internal/analysis"
+	"suit/internal/analysis/determinism"
+	"suit/internal/analysis/exhaustive"
+	"suit/internal/analysis/load"
+	"suit/internal/analysis/panicpath"
+	"suit/internal/analysis/unitchecker"
+	"suit/internal/analysis/unitsafe"
+)
+
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		exhaustive.Analyzer,
+		unitsafe.Analyzer,
+		panicpath.Analyzer,
+	}
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// Vet tool protocol, part 1: `suitlint -V=full` prints a version
+	// line whose content hash the go command uses as a cache key.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V=") {
+		printVersion()
+		return
+	}
+	// Vet tool protocol, part 2: `suitlint -flags` describes the flags
+	// the go command may forward. The analyzers take none.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	// Vet tool protocol, part 3: one JSON config file per package.
+	if len(args) > 0 && strings.HasSuffix(args[len(args)-1], ".cfg") {
+		unitchecker.Run(args[len(args)-1], analyzers())
+		return
+	}
+
+	os.Exit(standalone(args))
+}
+
+func standalone(args []string) int {
+	fs := flag.NewFlagSet("suitlint", flag.ExitOnError)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: suitlint [-only=a,b] [packages]")
+		for _, a := range analyzers() {
+			fmt.Fprintf(os.Stderr, "\n%s:\n  %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	run := analyzers()
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range run {
+			byName[a.Name] = a
+		}
+		run = run[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "suitlint: unknown analyzer %q\n", name)
+				return 1
+			}
+			run = append(run, a)
+		}
+	}
+
+	pkgs, err := load.Packages("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "suitlint:", err)
+		return 1
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "suitlint:", err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+		found += len(diags)
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "suitlint: %d finding(s)\n", found)
+		return 2
+	}
+	return 0
+}
+
+// printVersion emits "<name> version <id>" where id hashes the binary,
+// so the go command's vet cache invalidates when suitlint changes.
+func printVersion() {
+	name := "suitlint"
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", name, h.Sum(nil)[:16])
+}

@@ -116,7 +116,7 @@ func runTable3(c cfg, w *os.File) error {
 	if err := t.Render(w); err != nil {
 		return err
 	}
-	gbv := guardband.TempGuardbandFor(50, 88)
+	gbv := guardband.TempGuardbandFor(units.Celsius(50), units.Celsius(88))
 	fmt.Fprintf(w, "temperature guardband 50→88 °C: %s (paper: 35 mV ≈ 3.5 %%)\n", (-gbv).String())
 	return nil
 }
@@ -131,8 +131,8 @@ func runAging(c cfg, w *os.File) error {
 		"years", "at 105 °C", "at 60 °C")
 	for _, y := range []float64{1, 2, 5, 10} {
 		t.AddRow(fmt.Sprintf("%.0f", y),
-			fmt.Sprintf("%.1f %%", guardband.AgingDegradation(y, 105)*100),
-			fmt.Sprintf("%.1f %%", guardband.AgingDegradation(y, 60)*100))
+			fmt.Sprintf("%.1f %%", guardband.AgingDegradation(y, units.Celsius(105))*100),
+			fmt.Sprintf("%.1f %%", guardband.AgingDegradation(y, units.Celsius(60))*100))
 	}
 	return t.Render(w)
 }

@@ -111,15 +111,23 @@ func runVariance(c cfg, w *os.File) error {
 	pm := func(mean, sigma float64) string {
 		return fmt.Sprintf("%+.2f ± %.2f %%", mean*100, sigma*100)
 	}
+	xz, err := byName("557.xz")
+	if err != nil {
+		return err
+	}
+	gcc, err := byName("502.gcc")
+	if err != nil {
+		return err
+	}
 	cells := []struct {
 		label string
 		sc    core.Scenario
 	}{
 		{"557.xz on 𝒞, fV, −97 mV", core.Scenario{
-			Chip: dvfs.XeonSilver4208(), Bench: mustByName("557.xz"), Kind: core.KindFV,
+			Chip: dvfs.XeonSilver4208(), Bench: xz, Kind: core.KindFV,
 			SpendAging: true, Instructions: c.specInstr / 2, Seed: c.seed}},
 		{"502.gcc on 𝒞, fV, −97 mV", core.Scenario{
-			Chip: dvfs.XeonSilver4208(), Bench: mustByName("502.gcc"), Kind: core.KindFV,
+			Chip: dvfs.XeonSilver4208(), Bench: gcc, Kind: core.KindFV,
 			SpendAging: true, Instructions: c.specInstr / 2, Seed: c.seed}},
 		{"nginx on 𝒜, fV, −97 mV", core.Scenario{
 			Chip: dvfs.IntelI9_9900K(), Bench: workload.Nginx(), Kind: core.KindFV,
@@ -136,10 +144,10 @@ func runVariance(c cfg, w *os.File) error {
 	return t.Render(w)
 }
 
-func mustByName(name string) workload.Benchmark {
+func byName(name string) (workload.Benchmark, error) {
 	b, ok := workload.ByName(name)
 	if !ok {
-		panic("missing workload " + name)
+		return workload.Benchmark{}, fmt.Errorf("suittables: missing workload %s", name)
 	}
-	return b
+	return b, nil
 }

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowPrefix introduces a suppression comment:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// A well-formed suppression names one analyzer and gives a non-empty
+// reason; it silences that analyzer's diagnostics on the same line or
+// on the line directly below (so it works both trailing a statement and
+// standing on its own line above one). The reason ends at the first
+// "//" so a trailing comment does not count as explanation.
+//
+// Suppressions are themselves checked: a missing reason or an unknown
+// analyzer name is reported as a diagnostic (analyzer "lintallow") and
+// the suppression does not take effect.
+const AllowPrefix = "lint:allow"
+
+// An Allow is one well-formed suppression comment.
+type Allow struct {
+	Pos      token.Pos
+	Line     int    // line the comment starts on
+	File     string // filename the comment appears in
+	Analyzer string
+	Reason   string
+}
+
+// CollectAllows extracts every //lint:allow comment from files.
+// Malformed suppressions are returned as diagnostics; only well-formed
+// ones participate in Suppress.
+func CollectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]Allow, []Diagnostic) {
+	var allows []Allow
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, " ")
+				if !strings.HasPrefix(text, AllowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, AllowPrefix))
+				// A nested comment is not a reason.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = strings.TrimSpace(rest[:i])
+				}
+				name, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				pos := fset.Position(c.Pos())
+				switch {
+				case name == "":
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "lintallow",
+						Message:  "lint:allow needs an analyzer name and a reason: //lint:allow <analyzer> <reason>",
+					})
+				case !known[name]:
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "lintallow",
+						Message:  "lint:allow names unknown analyzer " + name,
+					})
+				case reason == "":
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "lintallow",
+						Message:  "lint:allow " + name + " is missing a reason; unexplained suppressions are not honored",
+					})
+				default:
+					allows = append(allows, Allow{
+						Pos:      c.Pos(),
+						Line:     pos.Line,
+						File:     pos.Filename,
+						Analyzer: name,
+						Reason:   reason,
+					})
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// Suppress drops diagnostics matched by a suppression: same analyzer,
+// same file, and the diagnostic sits on the comment's line (trailing
+// form) or the line below (standalone form).
+func Suppress(fset *token.FileSet, diags []Diagnostic, allows []Allow) []Diagnostic {
+	if len(allows) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		suppressed := false
+		for _, a := range allows {
+			if a.Analyzer == d.Analyzer && a.File == pos.Filename &&
+				(a.Line == pos.Line || a.Line+1 == pos.Line) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const allowSrc = `package p
+
+func a() {
+	_ = 1 //lint:allow determinism trailing form with a reason
+}
+
+func b() {
+	//lint:allow units standalone form above the statement
+	_ = 2
+}
+
+func c() {
+	_ = 3 //lint:allow determinism
+}
+
+func d() {
+	_ = 4 //lint:allow nosuchpass it is not a real analyzer
+}
+
+func e() {
+	_ = 5 //lint:allow
+}
+`
+
+func parseAllowSrc(t *testing.T) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow.go", allowSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestCollectAllows(t *testing.T) {
+	fset, files := parseAllowSrc(t)
+	known := map[string]bool{"determinism": true, "units": true}
+	allows, bad := CollectAllows(fset, files, known)
+
+	if len(allows) != 2 {
+		t.Fatalf("well-formed allows = %d, want 2: %+v", len(allows), allows)
+	}
+	if allows[0].Analyzer != "determinism" || allows[1].Analyzer != "units" {
+		t.Errorf("allow analyzers = %s, %s; want determinism, units",
+			allows[0].Analyzer, allows[1].Analyzer)
+	}
+
+	if len(bad) != 3 {
+		t.Fatalf("malformed allows = %d, want 3: %+v", len(bad), bad)
+	}
+	wantBad := []string{"missing a reason", "unknown analyzer nosuchpass", "needs an analyzer name"}
+	for i, w := range wantBad {
+		if bad[i].Analyzer != "lintallow" {
+			t.Errorf("bad[%d].Analyzer = %s, want lintallow", i, bad[i].Analyzer)
+		}
+		if !strings.Contains(bad[i].Message, w) {
+			t.Errorf("bad[%d].Message = %q, want substring %q", i, bad[i].Message, w)
+		}
+	}
+}
+
+func TestSuppress(t *testing.T) {
+	fset, files := parseAllowSrc(t)
+	known := map[string]bool{"determinism": true, "units": true}
+	allows, _ := CollectAllows(fset, files, known)
+
+	lineOf := func(a Allow) int { return a.Line }
+	trailing, standalone := allows[0], allows[1]
+
+	posAt := func(line int) token.Pos {
+		tf := fset.File(files[0].Pos())
+		return tf.LineStart(line)
+	}
+
+	diags := []Diagnostic{
+		// Same line as the trailing suppression: suppressed.
+		{Pos: posAt(lineOf(trailing)), Analyzer: "determinism", Message: "x"},
+		// Line below the standalone suppression: suppressed.
+		{Pos: posAt(lineOf(standalone) + 1), Analyzer: "units", Message: "y"},
+		// Wrong analyzer on a suppressed line: kept.
+		{Pos: posAt(lineOf(trailing)), Analyzer: "units", Message: "z"},
+		// Two lines below a suppression: kept.
+		{Pos: posAt(lineOf(standalone) + 2), Analyzer: "units", Message: "w"},
+	}
+	kept := Suppress(fset, diags, allows)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d diagnostics, want 2: %+v", len(kept), kept)
+	}
+	if kept[0].Message != "z" || kept[1].Message != "w" {
+		t.Errorf("kept = %q, %q; want z, w", kept[0].Message, kept[1].Message)
+	}
+}
+
+func TestMalformedAllowDoesNotSuppress(t *testing.T) {
+	fset, files := parseAllowSrc(t)
+	allows, _ := CollectAllows(fset, files, map[string]bool{"determinism": true})
+
+	// The reason-less //lint:allow determinism in func c must not have
+	// produced an Allow for its line.
+	tf := fset.File(files[0].Pos())
+	for _, a := range allows {
+		line := a.Line
+		text := allowSrc[tf.Offset(tf.LineStart(line)):]
+		if i := strings.IndexByte(text, '\n'); i >= 0 {
+			text = text[:i]
+		}
+		if strings.Contains(text, "_ = 3") {
+			t.Errorf("reason-less suppression was honored: %+v", a)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis vocabulary, sized for this repo's
+// needs. The container this project builds in has no module proxy, so
+// the suitlint analyzers (internal/analysis/{determinism,exhaustive,
+// unitsafe,panicpath}) run on a framework built entirely from the
+// standard library's go/ast, go/types and go/importer packages.
+//
+// The shapes mirror x/tools deliberately: an Analyzer has a Name, a Doc
+// string and a Run function over a Pass; a Pass exposes the FileSet,
+// the parsed files, the type-checked package and the types.Info; Run
+// reports Diagnostics. If the module ever gains a real
+// golang.org/x/tools dependency the analyzers port over mechanically.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow suppression comments. Lower-case, no spaces.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer
+	// enforces, shown by `suitlint -help`.
+	Doc string
+
+	// Run executes the check and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // non-test files only; _test.go is never analyzed
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, attributed to the analyzer that made it.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+// Drivers (the standalone loader, the vet unitchecker, analysistest)
+// construct it and hand it to Run.
+type Package struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Run executes the given analyzers over pkg and returns the surviving
+// diagnostics, sorted by position. It is the single code path shared by
+// every driver:
+//
+//  1. _test.go files are excluded from analysis (tests may use
+//     wall-clock time, ad-hoc randomness and raw literals freely);
+//  2. //lint:allow comments are collected once per package; malformed
+//     ones (missing reason, unknown analyzer) become diagnostics;
+//  3. each analyzer runs over the remaining files;
+//  4. diagnostics matched by a well-formed suppression are dropped.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	files := make([]*ast.File, 0, len(pkg.Files))
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	allows, diags := CollectAllows(pkg.Fset, files, known)
+
+	for _, a := range analyzers {
+		var out []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &out,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		diags = append(diags, Suppress(pkg.Fset, out, allows)...)
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+// PkgPathMatches reports whether a package import path ends in one of
+// the given suffixes (e.g. "internal/cpu" matches "suit/internal/cpu").
+// Vet analyzes test variants under synthesized paths like
+// "suit/internal/cpu [suit/internal/cpu.test]"; the bracketed part is
+// ignored.
+func PkgPathMatches(path string, suffixes []string) bool {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,335 @@
+// Package determinism mechanizes the engine's cross--j determinism
+// contract (DESIGN.md, "Parallel experiment engine & the
+// deterministic-seeding contract"): in result-affecting packages every
+// number must be a pure function of (spec, base seed). Wall-clock
+// reads, the process-global math/rand source, unseeded rand.New sources
+// and order-dependent map iteration all silently break byte-identical
+// replay, so they are flagged at compile-review time instead of being
+// hunted through flaky reruns.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"suit/internal/analysis"
+)
+
+// resultPackages are the packages whose outputs feed tables and
+// figures. The list matches the spec-fingerprint seeding boundary from
+// DESIGN.md: anything that runs under engine.Run must replay
+// byte-identically at any worker count.
+var resultPackages = []string{
+	"internal/cpu",
+	"internal/uarch",
+	"internal/trace",
+	"internal/guardband",
+	"internal/baselines",
+	"internal/power",
+	"internal/strategy",
+	"internal/core",
+	"internal/engine",
+}
+
+// Analyzer flags nondeterminism sources in result-affecting packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock reads, global/unseeded rand and order-dependent map iteration " +
+		"in result-affecting packages (" + strings.Join(resultPackages, ", ") + ")",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PkgPathMatches(pass.Pkg.Path(), resultPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		checkClockAndRand(pass, f)
+		checkMapRanges(pass, f)
+	}
+	return nil
+}
+
+// checkClockAndRand flags time.Now/time.Since, math/rand top-level
+// functions (which draw from the process-global source) and rand.New
+// calls whose source expression does not mention a seed.
+func checkClockAndRand(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return true // methods (e.g. (*rand.Rand).Int64N) are fine
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until" {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock in a result-affecting package; results must be a pure function of (spec, seed) — inject timestamps, or suppress with //lint:allow determinism <reason> if this never reaches results",
+					fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if !strings.HasPrefix(fn.Name(), "New") {
+				pass.Reportf(sel.Pos(),
+					"rand.%s draws from the process-global source; construct rand.New(rand.NewPCG(seed, ...)) from the job's derived seed (engine.DeriveSeed)",
+					fn.Name())
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Name() != "New" {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+			return true
+		}
+		if !mentionsSeed(call.Args) {
+			pass.Reportf(call.Pos(),
+				"rand.New source is not visibly derived from a seed; feed it from the job's Seed (engine.DeriveSeed keeps results byte-identical at any -j)")
+		}
+		return true
+	})
+}
+
+// mentionsSeed reports whether any identifier or selector in the
+// argument expressions names a seed. This is a syntactic heuristic: it
+// accepts rand.NewPCG(spec.Seed, seed^0x9e37...) and rejects
+// rand.NewSource(42) or rand.NewPCG(uint64(i), 7).
+func mentionsSeed(args []ast.Expr) bool {
+	found := false
+	for _, a := range args {
+		ast.Inspect(a, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok &&
+				strings.Contains(strings.ToLower(id.Name), "seed") {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// checkMapRanges walks every statement list so that a range-over-map
+// can be related to the statements that follow it (a sort directly
+// after the loop absolves an append accumulator).
+func checkMapRanges(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch s := n.(type) {
+		case *ast.BlockStmt:
+			list = s.List
+		case *ast.CaseClause:
+			list = s.Body
+		case *ast.CommClause:
+			list = s.Body
+		default:
+			return true
+		}
+		for i, st := range list {
+			rs, ok := st.(*ast.RangeStmt)
+			if !ok || !isMapRange(pass, rs) {
+				continue
+			}
+			checkMapBody(pass, rs, list[i+1:])
+		}
+		return true
+	})
+}
+
+func isMapRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapBody flags three order-dependent patterns inside a
+// range-over-map body:
+//
+//   - appending to a slice declared outside the loop, unless a
+//     sort.*/slices.Sort* call mentioning that slice follows the loop
+//     in the same statement list;
+//   - compound floating-point accumulation (+=, -=, *=, /=) into a
+//     variable declared outside the loop (float addition is not
+//     associative, so the sum depends on iteration order);
+//   - writing to an output sink (fmt.Print/Fprint family, Write*,
+//     Encode methods on outer values) while iterating.
+//
+// Purely keyed writes (out[k] = v), integer accumulation and min/max
+// scans commute, so they pass.
+func checkMapBody(pass *analysis.Pass, rs *ast.RangeStmt, after []ast.Stmt) {
+	outside := func(e ast.Expr) types.Object {
+		id := rootIdent(e)
+		if id == nil {
+			return nil
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil || (obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End()) {
+			return nil
+		}
+		return obj
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ASSIGN, token.DEFINE:
+				for i, rhs := range s.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || !isBuiltinAppend(pass, call) || i >= len(s.Lhs) {
+						continue
+					}
+					obj := outside(s.Lhs[i])
+					if obj == nil || sortedAfter(pass, obj, after) {
+						continue
+					}
+					pass.Reportf(s.Pos(),
+						"%s is appended to while ranging over a map and is not sorted afterwards; map order is nondeterministic — sort it or iterate sorted keys",
+						obj.Name())
+				}
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				obj := outside(s.Lhs[0])
+				if obj == nil || !isFloat(obj.Type()) {
+					return true
+				}
+				pass.Reportf(s.Pos(),
+					"floating-point accumulation into %s while ranging over a map is order-dependent (float addition does not associate); iterate sorted keys",
+					obj.Name())
+			}
+		case *ast.CallExpr:
+			if name, ok := sinkCall(pass, s, outside); ok {
+				pass.Reportf(s.Pos(),
+					"%s writes output while ranging over a map; map order is nondeterministic — iterate sorted keys", name)
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether any statement after the loop (in the same
+// list) calls a sort function whose arguments mention obj.
+func sortedAfter(pass *analysis.Pass, obj types.Object, after []ast.Stmt) bool {
+	found := false
+	for _, st := range after {
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSortCall(pass, call) {
+				return true
+			}
+			for _, a := range call.Args {
+				ast.Inspect(a, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			break
+		}
+	}
+	return found
+}
+
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort", "slices":
+		return strings.HasPrefix(fn.Name(), "Sort") || fn.Name() == "Strings" ||
+			fn.Name() == "Ints" || fn.Name() == "Float64s" || fn.Name() == "Stable"
+	}
+	return false
+}
+
+// sinkCall reports calls that emit ordered output: fmt print functions
+// and Write*/Encode methods on values declared outside the loop.
+func sinkCall(pass *analysis.Pass, call *ast.CallExpr, outside func(ast.Expr) types.Object) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Print") {
+		return "fmt." + fn.Name(), true
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") {
+		return "fmt." + fn.Name(), true
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+			if outside(sel.X) != nil {
+				return fn.Name(), true
+			}
+		}
+	}
+	return "", false
+}
+
+// rootIdent unwraps x in x, x.f, x[i], *x, (x) to its base identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,13 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"suit/internal/analysis/analysistest"
+	"suit/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer,
+		"suit/internal/engine", "suit/internal/report")
+}

@@ -1,0 +1,109 @@
+// Package engine is a determinism fixture: its import path matches a
+// result-affecting package, so wall-clock reads, global rand draws and
+// order-dependent map iteration are all flagged.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	randv2 "math/rand/v2"
+	"os"
+	"sort"
+	"time"
+)
+
+func clocks() time.Duration {
+	start := time.Now()      // want `time\.Now reads the wall clock`
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func telemetry() time.Time {
+	return time.Now() //lint:allow determinism fixture: wall clock feeds telemetry only
+}
+
+func globalDraw() (int, uint64) {
+	a := rand.Intn(8)    // want `rand\.Intn draws from the process-global source`
+	b := randv2.Uint64() // want `rand\.Uint64 draws from the process-global source`
+	return a, b
+}
+
+func unseeded() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `not visibly derived from a seed`
+}
+
+func seeded(seed uint64) *randv2.Rand {
+	return randv2.New(randv2.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `keys is appended to while ranging over a map`
+	}
+	return keys
+}
+
+func keysSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation into sum`
+	}
+	return sum
+}
+
+func intCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func printLoop(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println writes output while ranging over a map`
+	}
+}
+
+func writeLoop(m map[string]int, w *os.File) {
+	for k := range m {
+		fmt.Fprintf(w, "%s\n", k) // want `fmt\.Fprintf writes output while ranging over a map`
+	}
+}
+
+func keyedCopy(src map[string]int) map[string]int {
+	dst := make(map[string]int, len(src))
+	for k, v := range src {
+		dst[k] = v * 2
+	}
+	return dst
+}
+
+func suppressedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //lint:allow determinism fixture: caller sorts before rendering
+	}
+	return keys
+}
+
+func missingReason() time.Time {
+	return time.Now() //lint:allow determinism // want `time\.Now reads the wall clock` `missing a reason`
+}
+
+func unknownAnalyzer() {
+	//lint:allow nosuchpass typo in the analyzer name // want `unknown analyzer`
+}
+
+func emptyAllow() {
+	//lint:allow // want `needs an analyzer name and a reason`
+}

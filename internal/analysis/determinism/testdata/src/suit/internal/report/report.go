@@ -1,0 +1,16 @@
+// Package report is outside the result-affecting set; wall-clock reads
+// and map iteration order are its own business and must not be flagged.
+package report
+
+import (
+	"fmt"
+	"time"
+)
+
+func Stamp() time.Time { return time.Now() }
+
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

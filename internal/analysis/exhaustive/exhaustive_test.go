@@ -1,0 +1,13 @@
+package exhaustive_test
+
+import (
+	"testing"
+
+	"suit/internal/analysis/analysistest"
+	"suit/internal/analysis/exhaustive"
+)
+
+func TestExhaustive(t *testing.T) {
+	analysistest.Run(t, "testdata", exhaustive.Analyzer,
+		"suit/internal/sim", "suit/internal/cpu")
+}

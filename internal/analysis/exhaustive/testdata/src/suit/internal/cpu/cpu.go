@@ -1,0 +1,33 @@
+// Package cpu checks the unexported evKind enum, switchable only from
+// inside its declaring package.
+package cpu
+
+type evKind uint8
+
+const (
+	evNone evKind = iota
+	evSched
+	evDone
+)
+
+func dispatch(k evKind) int {
+	switch k { // want `switch on evKind is missing cases evNone`
+	case evSched:
+		return 1
+	case evDone:
+		return 2
+	}
+	return 0
+}
+
+func dispatchAll(k evKind) int {
+	switch k {
+	case evNone:
+		return 0
+	case evSched:
+		return 1
+	case evDone:
+		return 2
+	}
+	return -1
+}

@@ -1,0 +1,123 @@
+// Package load type-checks packages for analysis without
+// golang.org/x/tools/go/packages: it shells out to `go list -export
+// -deps -json` for the build plan, parses each target package's
+// sources, and type-checks them against the compiler export data the
+// list step just produced. That keeps the loader correct under modules,
+// build tags and cgo exclusions — the go command decides what is in a
+// package — while needing nothing beyond the standard library.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"suit/internal/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Module     *struct {
+		Path      string
+		GoVersion string
+	}
+}
+
+// Packages loads and type-checks every package matching patterns
+// (relative to dir; empty dir means the current directory). Only
+// non-dependency packages are returned for analysis; dependencies
+// contribute export data.
+func Packages(dir string, patterns ...string) ([]*analysis.Package, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Dir,Name,GoFiles,CgoFiles,Export,DepOnly,Standard,Module"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*analysis.Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 || len(t.CgoFiles) > 0 {
+			continue // test-only directory, or cgo (not analyzed)
+		}
+		files := make([]*ast.File, 0, len(t.GoFiles))
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := analysis.NewInfo()
+		conf := types.Config{
+			Importer:  imp,
+			GoVersion: goVersion(t),
+		}
+		pkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &analysis.Package{
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		})
+	}
+	return pkgs, nil
+}
+
+func goVersion(p listPackage) string {
+	if p.Module != nil && p.Module.GoVersion != "" {
+		return "go" + strings.TrimPrefix(p.Module.GoVersion, "go")
+	}
+	return ""
+}

@@ -1,0 +1,13 @@
+package panicpath_test
+
+import (
+	"testing"
+
+	"suit/internal/analysis/analysistest"
+	"suit/internal/analysis/panicpath"
+)
+
+func TestPanicpath(t *testing.T) {
+	analysistest.Run(t, "testdata", panicpath.Analyzer,
+		"suit/internal/trace", "suit/cmd/tool", "suit/internal/cpu")
+}

@@ -1,0 +1,19 @@
+// Command tool is a panicpath fixture: cmd/ binaries report errors,
+// they do not panic.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(); err != nil {
+		panic(err) // want `panic on an I/O or user-input path`
+	}
+}
+
+func run() error {
+	fmt.Fprintln(os.Stderr, "tool: nothing to do")
+	return nil
+}

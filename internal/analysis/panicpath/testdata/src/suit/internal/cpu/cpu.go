@@ -1,0 +1,9 @@
+// Package cpu is the negative fixture: machine-invariant packages may
+// panic, so nothing here is flagged.
+package cpu
+
+func checkInvariant(ok bool) {
+	if !ok {
+		panic("cpu: invariant violated")
+	}
+}

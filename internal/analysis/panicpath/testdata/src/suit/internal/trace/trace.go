@@ -1,0 +1,18 @@
+// Package trace is a panicpath fixture: an I/O-adjacent package where
+// panic must be replaced by returned errors.
+package trace
+
+import "fmt"
+
+func Parse(b []byte) (int, error) {
+	if len(b) == 0 {
+		panic("trace: empty input") // want `panic on an I/O or user-input path`
+	}
+	return 0, fmt.Errorf("trace: unsupported version %d", b[0])
+}
+
+func mustLen(b []byte, n int) {
+	if len(b) < n {
+		panic("trace: short buffer") //lint:allow panicpath fixture: demonstrates a justified suppression
+	}
+}

@@ -1,0 +1,129 @@
+// Package unitchecker implements the cmd/go vet tool protocol, so the
+// suitlint binary can run as `go vet -vettool=$(which suitlint) ./...`.
+// It is a standard-library re-implementation of the x/tools unitchecker
+// essentials: the go command invokes the tool once per package with a
+// JSON config file describing the sources and the export data of every
+// dependency; the tool type-checks, analyzes, prints findings to
+// stderr and signals them with exit code 2.
+//
+// Facts are not supported — none of the suitlint analyzers need
+// cross-package state — so the .vetx output the go command expects is
+// written as an empty file.
+package unitchecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"suit/internal/analysis"
+)
+
+// Config mirrors the JSON schema cmd/go writes for vet tools. Field
+// names must match exactly; unused fields are listed for completeness.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Run processes one vet config file and exits: 0 on success, 1 on
+// protocol or type-check errors, 2 when diagnostics were reported.
+func Run(cfgPath string, analyzers []*analysis.Analyzer) {
+	code, err := run(cfgPath, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "suitlint:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run(cfgPath string, analyzers []*analysis.Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+
+	// The go command expects the facts file to exist even though
+	// suitlint produces no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+
+	diags, err := analysis.Run(&analysis.Package{
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+	}, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,51 @@
+// Package model is a unitsafe fixture: raw literals flowing into unit
+// types and bare cross-unit conversions.
+package model
+
+import "suit/internal/units"
+
+type Config struct {
+	Vdd units.Volt
+	F   units.Hertz
+	TDP units.Watt
+}
+
+func SetVdd(v units.Volt) {}
+
+func Tune(vs ...units.Volt) {}
+
+func rawArgs() {
+	SetVdd(0.85)   // want `raw literal 0\.85 passed as Volt`
+	SetVdd(-0.07)  // want `raw literal -0\.07 passed as Volt`
+	Tune(0.8, 0.9) // want `raw literal 0\.8 passed as Volt` `raw literal 0\.9 passed as Volt`
+}
+
+func rawFields() Config {
+	return Config{
+		Vdd: 0.9,    // want `raw literal 0\.9 assigned to field Vdd`
+		TDP: 15 * 2, // want `raw literal 15 ?\* ?2 assigned to field TDP`
+	}
+}
+
+func rawPositional() Config {
+	return Config{0.7, 0, 0} // want `raw literal 0\.7 assigned to field Vdd`
+}
+
+func constructed(v units.Volt) Config {
+	SetVdd(units.MilliVolts(850))
+	SetVdd(0) // zero is the same quantity in every unit
+	SetVdd(v)
+	const nominal = units.Volt(0.85)
+	SetVdd(nominal)
+	return Config{Vdd: units.Volt(0.9), F: units.MHz(800)}
+}
+
+func crossUnit(f units.Hertz, s units.Second) {
+	_ = units.Second(f)             // want `bare conversion mixes units: Second built from a Hertz`
+	_ = units.Watt(float64(s) * 2)  // want `bare conversion mixes units: Watt built from a Second`
+	_ = units.Hertz(float64(f) * 2) // same-unit scaling is not a mix
+}
+
+func calibrated() {
+	SetVdd(0.85) //lint:allow units fixture: calibration constant cross-checked against Fig 12
+}

@@ -1,0 +1,19 @@
+// Package units is the fixture stand-in for suit/internal/units. The
+// analyzer must leave it alone: raw float math and cross-unit formulas
+// are this package's job.
+package units
+
+type (
+	Volt   float64
+	Hertz  float64
+	Watt   float64
+	Joule  float64
+	Second float64
+)
+
+func MilliVolts(mv float64) Volt { return Volt(mv / 1000) }
+
+func MHz(f float64) Hertz { return Hertz(f * 1e6) }
+
+// Power mixes Joule and Second into Watt — a finding anywhere else.
+func Power(e Joule, dt Second) Watt { return Watt(float64(e) / float64(dt)) }

@@ -1,0 +1,13 @@
+package unitsafe_test
+
+import (
+	"testing"
+
+	"suit/internal/analysis/analysistest"
+	"suit/internal/analysis/unitsafe"
+)
+
+func TestUnits(t *testing.T) {
+	analysistest.Run(t, "testdata", unitsafe.Analyzer,
+		"suit/internal/model", "suit/internal/units")
+}

@@ -132,8 +132,8 @@ func DefaultECCGuided() ECCGuided {
 		MeanFloor:        units.MilliVolts(-210),
 		Sigma:            units.MilliVolts(15),
 		SafetyMargin:     units.MilliVolts(20),
-		CalibrationEvery: 10 * 60, // every ten minutes
-		CalibrationCost:  2,       // two seconds of probing
+		CalibrationEvery: units.Second(10 * 60), // every ten minutes
+		CalibrationCost:  units.Second(2),       // two seconds of probing
 	}
 }
 

@@ -403,11 +403,11 @@ func TestMSRsReflectState(t *testing.T) {
 	if _, err := m.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if got := m.MSRs(0).MustRead(0x1503); got != 1 { // SUITDOCount
-		t.Errorf("DO count MSR = %d, want 1", got)
+	if got, err := m.MSRs(0).Read(0x1503); err != nil || got != 1 { // SUITDOCount
+		t.Errorf("DO count MSR = %d (err %v), want 1", got, err)
 	}
-	if got := m.MSRs(0).MustRead(0x1500); got == 0 { // SUITDisable
-		t.Error("disable MSR empty under emulation strategy")
+	if got, err := m.MSRs(0).Read(0x1500); err != nil || got == 0 { // SUITDisable
+		t.Errorf("disable MSR empty under emulation strategy (err %v)", err)
 	}
 }
 

@@ -76,6 +76,8 @@ func (m *Machine) Run() (Result, error) {
 			m.cores[who].blockedUntil = 0
 			// The pending (retrying) instruction is handled on the next
 			// iteration via evCoreArrive at the same timestamp.
+		case evNone:
+			panic("cpu: evNone dispatched; nextEvent filters it above")
 		}
 		// The measurement interval ends when the last core commits its
 		// stream; residual transitions or timer events past that point
@@ -97,7 +99,7 @@ func (m *Machine) Run() (Result, error) {
 	m.res.Duration = maxDone
 	m.res.Energy = m.meter.Energy()
 	if maxDone > 0 {
-		m.res.AvgPower = units.Watt(float64(m.res.Energy) / float64(maxDone))
+		m.res.AvgPower = units.Power(m.res.Energy, maxDone)
 	}
 	m.res.RAPLCounter = m.rapl.Counter()
 	return m.res, nil
@@ -237,7 +239,11 @@ func (m *Machine) coreArrive(c *core) {
 			n := copy(d.exceptions, d.exceptions[len(d.exceptions)-4096:])
 			d.exceptions = d.exceptions[:n]
 		}
-		d.msrs.Poke(msr.SUITDOCount, d.msrs.MustRead(msr.SUITDOCount)+1)
+		doCount, err := d.msrs.Read(msr.SUITDOCount)
+		if err != nil {
+			panic(err) // machine invariant: SUITDOCount is always mapped
+		}
+		d.msrs.Poke(msr.SUITDOCount, doCount+1)
 		c.retry = true
 		m.handlerTime = m.now + m.effExceptionDelay()
 		m.handlerCore = c.id
@@ -328,7 +334,7 @@ func (m *Machine) advanceTo(t units.Second) {
 			}
 		}
 	}
-	m.meter.Add(units.Watt(energy/float64(dt)), dt)
+	m.meter.Add(units.Power(units.Joule(energy), dt), dt)
 	m.rapl.Deposit(units.Joule(energy))
 	m.now = t
 }

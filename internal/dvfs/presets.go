@@ -26,16 +26,16 @@ import (
 // IntelI9_9900K returns the CPU 𝒜 model.
 func IntelI9_9900K() Chip {
 	curve := Curve{Name: "i9-9900K", States: []PState{
-		{Ratio: 8, F: units.GHz(0.8), V: 0.760},
-		{Ratio: 16, F: units.GHz(1.6), V: 0.800},
-		{Ratio: 24, F: units.GHz(2.4), V: 0.852},
-		{Ratio: 30, F: units.GHz(3.0), V: 0.896},
-		{Ratio: 36, F: units.GHz(3.6), V: 0.942},
-		{Ratio: 40, F: units.GHz(4.0), V: 0.991},
-		{Ratio: 43, F: units.GHz(4.3), V: 1.046},
-		{Ratio: 45, F: units.GHz(4.5), V: 1.083},
-		{Ratio: 47, F: units.GHz(4.7), V: 1.119},
-		{Ratio: 50, F: units.GHz(5.0), V: 1.174},
+		{Ratio: 8, F: units.GHz(0.8), V: units.Volt(0.760)},
+		{Ratio: 16, F: units.GHz(1.6), V: units.Volt(0.800)},
+		{Ratio: 24, F: units.GHz(2.4), V: units.Volt(0.852)},
+		{Ratio: 30, F: units.GHz(3.0), V: units.Volt(0.896)},
+		{Ratio: 36, F: units.GHz(3.6), V: units.Volt(0.942)},
+		{Ratio: 40, F: units.GHz(4.0), V: units.Volt(0.991)},
+		{Ratio: 43, F: units.GHz(4.3), V: units.Volt(1.046)},
+		{Ratio: 45, F: units.GHz(4.5), V: units.Volt(1.083)},
+		{Ratio: 47, F: units.GHz(4.7), V: units.Volt(1.119)},
+		{Ratio: 50, F: units.GHz(5.0), V: units.Volt(1.174)},
 	}}
 	return Chip{
 		Name:    "Intel Core i9-9900K",
@@ -49,8 +49,8 @@ func IntelI9_9900K() Chip {
 			VoltDelaySigma: units.Microseconds(22),
 		},
 		Vendor:   curve,
-		Power:    power.Model{CoreCeff: 1.55e-9, LeakGV: 1.1, Uncore: 2, UncorePerCore: 0.75, VoltExp: 3.5},
-		TDP:      95,
+		Power:    power.Model{CoreCeff: 1.55e-9, LeakGV: 1.1, Uncore: units.Watt(2), UncorePerCore: units.Watt(0.75), VoltExp: 3.5},
+		TDP:      units.Watt(95),
 		BusClock: units.MHz(100),
 		// §5.3 on the i9-9900K: 0.34 µs exception entry, 0.77 µs
 		// emulation call.
@@ -62,17 +62,17 @@ func IntelI9_9900K() Chip {
 // AMDRyzen7700X returns the CPU ℬ model.
 func AMDRyzen7700X() Chip {
 	curve := Curve{Name: "Ryzen7-7700X", States: []PState{
-		{Ratio: 8, F: units.GHz(0.8), V: 0.720},
-		{Ratio: 17, F: units.GHz(1.7), V: 0.780},
-		{Ratio: 25, F: units.GHz(2.5), V: 0.840},
-		{Ratio: 30, F: units.GHz(3.0), V: 0.885},
-		{Ratio: 36, F: units.GHz(3.6), V: 0.950},
-		{Ratio: 42, F: units.GHz(4.2), V: 1.040},
-		{Ratio: 45, F: units.GHz(4.5), V: 1.100},
-		{Ratio: 46, F: units.GHz(4.6), V: 1.120},
-		{Ratio: 48, F: units.GHz(4.8), V: 1.210},
-		{Ratio: 50, F: units.GHz(5.0), V: 1.250},
-		{Ratio: 54, F: units.GHz(5.4), V: 1.300},
+		{Ratio: 8, F: units.GHz(0.8), V: units.Volt(0.720)},
+		{Ratio: 17, F: units.GHz(1.7), V: units.Volt(0.780)},
+		{Ratio: 25, F: units.GHz(2.5), V: units.Volt(0.840)},
+		{Ratio: 30, F: units.GHz(3.0), V: units.Volt(0.885)},
+		{Ratio: 36, F: units.GHz(3.6), V: units.Volt(0.950)},
+		{Ratio: 42, F: units.GHz(4.2), V: units.Volt(1.040)},
+		{Ratio: 45, F: units.GHz(4.5), V: units.Volt(1.100)},
+		{Ratio: 46, F: units.GHz(4.6), V: units.Volt(1.120)},
+		{Ratio: 48, F: units.GHz(4.8), V: units.Volt(1.210)},
+		{Ratio: 50, F: units.GHz(5.0), V: units.Volt(1.250)},
+		{Ratio: 54, F: units.GHz(5.4), V: units.Volt(1.300)},
 	}}
 	return Chip{
 		Name:    "AMD Ryzen 7 7700X",
@@ -89,8 +89,8 @@ func AMDRyzen7700X() Chip {
 			VoltDelaySigma: units.Microseconds(100),
 		},
 		Vendor:   curve,
-		Power:    power.Model{CoreCeff: 1.60e-9, LeakGV: 1.0, Uncore: 4, UncorePerCore: 1, VoltExp: 3.5},
-		TDP:      105,
+		Power:    power.Model{CoreCeff: 1.60e-9, LeakGV: 1.0, Uncore: units.Watt(4), UncorePerCore: units.Watt(1), VoltExp: 3.5},
+		TDP:      units.Watt(105),
 		BusClock: units.MHz(100),
 		// §5.3 on the 7700X: 0.11 µs exception entry, 0.27 µs emulation
 		// call — the short delays that make emulation comparatively
@@ -103,15 +103,15 @@ func AMDRyzen7700X() Chip {
 // XeonSilver4208 returns the CPU 𝒞 model.
 func XeonSilver4208() Chip {
 	curve := Curve{Name: "XeonSilver-4208", States: []PState{
-		{Ratio: 8, F: units.GHz(0.8), V: 0.700},
-		{Ratio: 12, F: units.GHz(1.2), V: 0.730},
-		{Ratio: 16, F: units.GHz(1.6), V: 0.762},
-		{Ratio: 21, F: units.GHz(2.1), V: 0.810},
-		{Ratio: 24, F: units.GHz(2.4), V: 0.848},
-		{Ratio: 28, F: units.GHz(2.8), V: 0.905},
-		{Ratio: 30, F: units.GHz(3.0), V: 0.940},
-		{Ratio: 31, F: units.GHz(3.1), V: 0.960},
-		{Ratio: 32, F: units.GHz(3.2), V: 1.040},
+		{Ratio: 8, F: units.GHz(0.8), V: units.Volt(0.700)},
+		{Ratio: 12, F: units.GHz(1.2), V: units.Volt(0.730)},
+		{Ratio: 16, F: units.GHz(1.6), V: units.Volt(0.762)},
+		{Ratio: 21, F: units.GHz(2.1), V: units.Volt(0.810)},
+		{Ratio: 24, F: units.GHz(2.4), V: units.Volt(0.848)},
+		{Ratio: 28, F: units.GHz(2.8), V: units.Volt(0.905)},
+		{Ratio: 30, F: units.GHz(3.0), V: units.Volt(0.940)},
+		{Ratio: 31, F: units.GHz(3.1), V: units.Volt(0.960)},
+		{Ratio: 32, F: units.GHz(3.2), V: units.Volt(1.040)},
 	}}
 	return Chip{
 		Name:    "Intel Xeon Silver 4208",
@@ -129,8 +129,8 @@ func XeonSilver4208() Chip {
 			VoltFirst:      true,
 		},
 		Vendor:   curve,
-		Power:    power.Model{CoreCeff: 3.05e-9, LeakGV: 1.3, Uncore: 4, UncorePerCore: 1.25, VoltExp: 3.5},
-		TDP:      85,
+		Power:    power.Model{CoreCeff: 3.05e-9, LeakGV: 1.3, Uncore: units.Watt(4), UncorePerCore: units.Watt(1.25), VoltExp: 3.5},
+		TDP:      units.Watt(85),
 		BusClock: units.MHz(100),
 		// The paper measures trap delays on the client Intel part; the
 		// Xeon shares the microarchitectural lineage.
@@ -145,19 +145,19 @@ func XeonSilver4208() Chip {
 // score +7.9 %, power −0.5 %, frequency +12 % at −97 mV in the paper.
 func IntelI5_1035G1() Chip {
 	curve := Curve{Name: "i5-1035G1", States: []PState{
-		{Ratio: 4, F: units.GHz(0.4), V: 0.620},
-		{Ratio: 8, F: units.GHz(0.8), V: 0.650},
-		{Ratio: 12, F: units.GHz(1.2), V: 0.680},
-		{Ratio: 16, F: units.GHz(1.6), V: 0.720},
-		{Ratio: 20, F: units.GHz(2.0), V: 0.760},
-		{Ratio: 22, F: units.GHz(2.2), V: 0.785},
-		{Ratio: 23, F: units.GHz(2.3), V: 0.810},
-		{Ratio: 24, F: units.GHz(2.4), V: 0.870},
-		{Ratio: 26, F: units.GHz(2.6), V: 0.900},
-		{Ratio: 28, F: units.GHz(2.8), V: 0.920},
-		{Ratio: 30, F: units.GHz(3.0), V: 0.940},
-		{Ratio: 33, F: units.GHz(3.3), V: 0.965},
-		{Ratio: 36, F: units.GHz(3.6), V: 1.000},
+		{Ratio: 4, F: units.GHz(0.4), V: units.Volt(0.620)},
+		{Ratio: 8, F: units.GHz(0.8), V: units.Volt(0.650)},
+		{Ratio: 12, F: units.GHz(1.2), V: units.Volt(0.680)},
+		{Ratio: 16, F: units.GHz(1.6), V: units.Volt(0.720)},
+		{Ratio: 20, F: units.GHz(2.0), V: units.Volt(0.760)},
+		{Ratio: 22, F: units.GHz(2.2), V: units.Volt(0.785)},
+		{Ratio: 23, F: units.GHz(2.3), V: units.Volt(0.810)},
+		{Ratio: 24, F: units.GHz(2.4), V: units.Volt(0.870)},
+		{Ratio: 26, F: units.GHz(2.6), V: units.Volt(0.900)},
+		{Ratio: 28, F: units.GHz(2.8), V: units.Volt(0.920)},
+		{Ratio: 30, F: units.GHz(3.0), V: units.Volt(0.940)},
+		{Ratio: 33, F: units.GHz(3.3), V: units.Volt(0.965)},
+		{Ratio: 36, F: units.GHz(3.6), V: units.Volt(1.000)},
 	}}
 	return Chip{
 		Name:    "Intel Core i5-1035G1",
@@ -171,8 +171,8 @@ func IntelI5_1035G1() Chip {
 			VoltDelaySigma: units.Microseconds(30),
 		},
 		Vendor:         curve,
-		Power:          power.Model{CoreCeff: 3.1e-9, LeakGV: 0.6, Uncore: 1, UncorePerCore: 0.25, VoltExp: 3.5},
-		TDP:            13,
+		Power:          power.Model{CoreCeff: 3.1e-9, LeakGV: 0.6, Uncore: units.Watt(1), UncorePerCore: units.Watt(0.25), VoltExp: 3.5},
+		TDP:            units.Watt(13),
 		BusClock:       units.MHz(100),
 		ExceptionDelay: units.Microseconds(0.30),
 		EmulCallDelay:  units.Microseconds(0.70),

@@ -137,7 +137,7 @@ type job[S any] struct {
 // returns ctx.Err(). Run never leaks goroutines: all workers have exited
 // by the time it returns.
 func (e *Engine[S, R]) Run(ctx context.Context, specs []S) ([]R, error) {
-	start := time.Now()
+	start := time.Now() //lint:allow determinism wall-clock only feeds Stats.Elapsed and the progress reporter, never results
 	results := make([]R, len(specs))
 
 	// Group duplicate fingerprints so each is computed once per batch.
@@ -237,7 +237,7 @@ feed:
 	e.stats.Unique += int64(len(order))
 	e.stats.MemHits += memHits
 	e.stats.DiskHits += diskHits
-	e.stats.Elapsed += time.Since(start)
+	e.stats.Elapsed += time.Since(start) //lint:allow determinism Stats.Elapsed is operator telemetry, not a result
 	e.mu.Unlock()
 
 	if firstErr != nil {
@@ -258,7 +258,7 @@ func (e *Engine[S, R]) startProgress(done *atomic.Int64, total int, start time.T
 	}
 	report := func(final bool) {
 		d := done.Load()
-		elapsed := time.Since(start).Seconds()
+		elapsed := time.Since(start).Seconds() //lint:allow determinism progress-line throughput is stderr telemetry, not a result
 		rate := float64(d) / elapsed
 		line := fmt.Sprintf("%s: %d/%d jobs, %.1f jobs/s", e.opts.Label, d, total, rate)
 		if !final && rate > 0 {

@@ -191,6 +191,7 @@ func AgingDegradation(years float64, temp units.Celsius) float64 {
 // 5 GHz · 15 % · 183 mV/GHz = 137 mV.
 func AgingGuardbandFor(c dvfs.Curve) units.Volt {
 	top := c.Top()
+	//lint:allow units the §5.6 guardband prices frequency headroom into voltage via the curve gradient (V/Hz)
 	return units.Volt(float64(top.F) * 0.15 * c.Gradient())
 }
 
@@ -204,8 +205,8 @@ type TempPoint struct {
 // Table3 returns the paper's measured points on the i9-9900K.
 func Table3() [2]TempPoint {
 	return [2]TempPoint{
-		{Temp: 50, MaxOffset: units.MilliVolts(-90)},
-		{Temp: 88, MaxOffset: units.MilliVolts(-55)},
+		{Temp: units.Celsius(50), MaxOffset: units.MilliVolts(-90)},
+		{Temp: units.Celsius(88), MaxOffset: units.MilliVolts(-55)},
 	}
 }
 
@@ -215,6 +216,7 @@ func Table3() [2]TempPoint {
 func MaxUndervoltAt(temp units.Celsius) units.Volt {
 	p := Table3()
 	slope := float64(p[1].MaxOffset-p[0].MaxOffset) / float64(p[1].Temp-p[0].Temp)
+	//lint:allow units the Table 3 interpolation multiplies a measured V/°C slope by a temperature delta
 	return p[0].MaxOffset + units.Volt(slope*float64(temp-p[0].Temp))
 }
 

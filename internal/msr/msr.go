@@ -100,15 +100,6 @@ func (f *File) Read(addr Addr) (uint64, error) {
 	return v, nil
 }
 
-// MustRead is Read for addresses known to exist; it panics on #GP.
-func (f *File) MustRead(addr Addr) uint64 {
-	v, err := f.Read(addr)
-	if err != nil {
-		panic(err)
-	}
-	return v
-}
-
 // Write stores value and fires hooks, or returns ErrUnknown (#GP).
 func (f *File) Write(addr Addr, value uint64) error {
 	f.mu.Lock()
@@ -124,13 +115,6 @@ func (f *File) Write(addr Addr, value uint64) error {
 		h(addr, old, value)
 	}
 	return nil
-}
-
-// MustWrite is Write that panics on #GP.
-func (f *File) MustWrite(addr Addr, value uint64) {
-	if err := f.Write(addr, value); err != nil {
-		panic(err)
-	}
 }
 
 // OnWrite registers a hook fired after each write to addr.

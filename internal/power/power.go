@@ -78,12 +78,14 @@ func (m Model) Dynamic(v units.Volt, f units.Hertz, activity float64) units.Watt
 	} else if activity > 1 {
 		activity = 1
 	}
+	//lint:allow units the dynamic-power law P = Ceff·Vᵉ·f is the defining cross-unit relation of this model
 	return units.Watt(m.CoreCeff * math.Pow(float64(v), m.voltExp()) * float64(f) * activity)
 }
 
 // Leakage returns the static power of one core at the given voltage.
 // Leakage flows whether or not the core is clocked.
 func (m Model) Leakage(v units.Volt) units.Watt {
+	//lint:allow units the leakage law P = G·V² is the defining cross-unit relation of this model
 	return units.Watt(m.LeakGV * float64(v) * float64(v))
 }
 
@@ -164,7 +166,7 @@ func (i *Integrator) AveragePower() units.Watt {
 	if i.elapsed == 0 {
 		return 0
 	}
-	return units.Watt(float64(i.energy) / float64(i.elapsed))
+	return units.Power(i.energy, i.elapsed)
 }
 
 // Reset clears the integrator.

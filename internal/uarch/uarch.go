@@ -307,18 +307,21 @@ type mixSampler struct {
 }
 
 func newMixSampler(mix map[isa.Opcode]float64) (*mixSampler, error) {
-	var total float64
 	for op, w := range mix {
 		if w < 0 {
 			return nil, fmt.Errorf("uarch: negative weight for %v", op)
 		}
-		total += w
+	}
+	// Deterministic order: iterate the opcode space, not the map — the
+	// float sums below depend on addition order.
+	var total float64
+	for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
+		total += mix[op]
 	}
 	if total <= 0 {
 		return nil, errors.New("uarch: empty instruction mix")
 	}
 	s := &mixSampler{}
-	// Deterministic order: iterate the opcode space, not the map.
 	acc := 0.0
 	for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
 		w, ok := mix[op]

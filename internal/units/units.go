@@ -101,6 +101,9 @@ func (c Celsius) String() string { return fmt.Sprintf("%.1f °C", float64(c)) }
 // Energy returns power × time.
 func Energy(p Watt, dt Second) Joule { return Joule(float64(p) * float64(dt)) }
 
+// Power returns energy ÷ time.
+func Power(e Joule, dt Second) Watt { return Watt(float64(e) / float64(dt)) }
+
 // Cycles returns the number of clock cycles elapsed in dt at frequency f.
 func Cycles(f Hertz, dt Second) float64 { return float64(f) * float64(dt) }
 
