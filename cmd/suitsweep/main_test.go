@@ -8,6 +8,7 @@ import (
 	"suit/internal/core"
 	"suit/internal/dvfs"
 	"suit/internal/engine"
+	"suit/internal/strategy"
 )
 
 func TestChipByName(t *testing.T) {
@@ -58,9 +59,12 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 	var runs [][]sweepPoint
 	for _, workers := range []int{1, 8} {
 		core.SetEngineOptions(engine.Options{Workers: workers, BaseSeed: 1})
-		points, err := sweep(chip, grid, benches, true, 2_000_000)
+		points, failed, err := sweep(chip, grid, benches, true, 2_000_000)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(failed) != 0 {
+			t.Fatalf("workers=%d: unexpected failures %v", workers, failed)
 		}
 		runs = append(runs, points)
 	}
@@ -75,5 +79,44 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 		SpendAging: true, Instructions: 2_000_000, Params: &grid[1]}.Fingerprint()
 	if engine.DeriveSeed(1, k0) == engine.DeriveSeed(1, k1) {
 		t.Error("distinct sweep points derived the same seed")
+	}
+}
+
+// TestSweepDropsFailedPointsUnderCollect: with -on-error=continue a
+// failing grid point must not abort the sweep or leak a zero-valued
+// mean into the ranking — its scenarios are reported by fingerprint and
+// the point disappears from the table.
+func TestSweepDropsFailedPointsUnderCollect(t *testing.T) {
+	chip := dvfs.XeonSilver4208()
+	grid := sweepGrid(chip)[:3]
+	grid[1] = strategy.Params{} // invalid: every scenario at this point fails
+	benches, err := sweepBenches()
+	if err != nil {
+		t.Fatal(err)
+	}
+	benches = benches[:2]
+
+	core.SetEngineOptions(engine.Options{Workers: 4, BaseSeed: 1, Policy: engine.Collect})
+	defer core.SetEngineOptions(engine.Options{})
+	points, failed, err := sweep(chip, grid, benches, true, 2_000_000)
+	if err != nil {
+		t.Fatalf("collect policy must not abort the sweep: %v", err)
+	}
+	if len(failed) != len(benches) {
+		t.Fatalf("%d failed fingerprints, want %d (one per workload at the bad point)", len(failed), len(benches))
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d ranked points, want 2 (the failed point must be dropped)", len(points))
+	}
+	for _, p := range points {
+		if p.p == grid[1] {
+			t.Error("failed grid point survived into the ranking")
+		}
+	}
+
+	// FailFast with the same grid aborts instead.
+	core.SetEngineOptions(engine.Options{Workers: 4, BaseSeed: 1})
+	if _, _, err := sweep(chip, grid, benches, true, 2_000_000); err == nil {
+		t.Fatal("fail-fast policy should surface the failure as an error")
 	}
 }

@@ -11,15 +11,26 @@
 // fig16 security, plus the extension experiments covert, baselines, sched
 // and variance. "all" (default) runs everything; -quick shortens the
 // simulated instruction streams for a fast pass.
+//
+// A failed experiment no longer aborts the batch: the remaining
+// experiments still run, every failure is summarised on stderr (with
+// the failed scenario fingerprints when the engine reports them), and
+// the process exits 2. Usage errors exit 1; SIGINT checkpoints
+// completed jobs (with -cache) and exits 130.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"suit/internal/core"
 	"suit/internal/engine"
@@ -68,27 +79,81 @@ var experiments = []experiment{
 	{"variance", "run-to-run variance of flagship cells (mean ± σ)", runVariance},
 }
 
-func main() {
+// Exit codes, shared with suitsweep: usage/environment errors exit 1,
+// failed experiments exit 2, SIGINT exits 130.
+const (
+	exitOK     = 0
+	exitUsage  = 1
+	exitFailed = 2
+	exitSignal = 130
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment id to run, or 'all'")
-		quick    = flag.Bool("quick", false, "shorter simulations (lower fidelity)")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		outDir   = flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
-		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
-		cacheDir = flag.String("cache", "", "directory for the on-disk result cache (reused across runs)")
+		exp        = flag.String("exp", "all", "experiment id to run, or 'all'")
+		quick      = flag.Bool("quick", false, "shorter simulations (lower fidelity)")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		outDir     = flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
+		workers    = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
+		cacheDir   = flag.String("cache", "", "directory for the on-disk result cache (reused across runs)")
+		retries    = flag.Int("retries", 0, "per-job retry budget for transient failures (same derived seed on every attempt)")
+		onError    = flag.String("on-error", "fail", "engine failure policy: 'fail' stops a sweep at the first failed job, 'continue' finishes it and reports failures")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-job watchdog timeout (0 disables)")
+		resume     = flag.Bool("resume", false, "resume interrupted experiments from the checkpoint journal (requires -cache)")
 	)
-	flag.Parse()
+	flag.CommandLine.Init("suittables", flag.ContinueOnError)
+	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
+		return exitUsage
+	}
+	var policy engine.FailurePolicy
+	switch *onError {
+	case "fail":
+		policy = engine.FailFast
+	case "continue":
+		policy = engine.Collect
+	default:
+		fmt.Fprintf(os.Stderr, "bad -on-error %q: want 'fail' or 'continue'\n", *onError)
+		return exitUsage
+	}
+	if *resume && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume needs -cache: the checkpoint journal lives next to the result cache")
+		return exitUsage
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	core.SetRunContext(ctx)
+
+	var cp *engine.Checkpoint
+	if *cacheDir != "" {
+		config := fmt.Sprintf("suittables seed=%d quick=%t", *seed, *quick)
+		var err error
+		cp, err = engine.OpenCheckpoint(filepath.Join(*cacheDir, "suittables.journal"), config, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return exitUsage
+		}
+		defer cp.Close()
+	}
+
 	core.SetEngineOptions(engine.Options{
-		Workers:  *workers,
-		BaseSeed: *seed,
-		CacheDir: *cacheDir,
-		Progress: os.Stderr,
-		Label:    "suittables",
+		Workers:      *workers,
+		BaseSeed:     *seed,
+		CacheDir:     *cacheDir,
+		Progress:     os.Stderr,
+		Label:        "suittables",
+		Retries:      *retries,
+		RetryBackoff: 100 * time.Millisecond,
+		Policy:       policy,
+		JobTimeout:   *jobTimeout,
+		Checkpoint:   cp,
 	})
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return exitUsage
 		}
 	}
 
@@ -115,19 +180,28 @@ func main() {
 				}
 				sort.Strings(known)
 				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n", id, strings.Join(known, " "))
-				os.Exit(2)
+				return exitUsage
 			}
 			torun = append(torun, e)
 		}
 	}
+	// An experiment failure degrades gracefully: log it, keep going, and
+	// report everything that broke at the end. Only an interrupt stops
+	// the batch early.
+	var failed []string
 	for _, e := range torun {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "suittables: interrupted — completed jobs are checkpointed; re-run with -resume to continue\n")
+			fmt.Fprintf(os.Stderr, "suittables: partial stats: %s\n", core.EngineStats())
+			return exitSignal
+		}
 		fmt.Printf("==> %s — %s\n\n", e.id, e.desc)
 		target := os.Stdout
 		if *outDir != "" {
 			f, err := os.Create(fmt.Sprintf("%s/%s.txt", *outDir, e.id))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
-				os.Exit(1)
+				return exitUsage
 			}
 			target = f
 		}
@@ -137,9 +211,29 @@ func main() {
 			fmt.Printf("(written to %s/%s.txt)\n", *outDir, e.id)
 		}
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "suittables: interrupted — completed jobs are checkpointed; re-run with -resume to continue\n")
+				fmt.Fprintf(os.Stderr, "suittables: partial stats: %s\n", core.EngineStats())
+				return exitSignal
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
-			os.Exit(1)
+			var re *engine.RunError
+			if errors.As(err, &re) {
+				for _, k := range re.Keys() {
+					fmt.Fprintf(os.Stderr, "  failed: %s\n", k)
+				}
+			}
+			failed = append(failed, e.id)
+			fmt.Println()
+			continue
 		}
 		fmt.Println()
 	}
+	fmt.Fprintf(os.Stderr, "suittables: %s\n", core.EngineStats())
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "suittables: %d of %d experiments failed: %s\n",
+			len(failed), len(torun), strings.Join(failed, " "))
+		return exitFailed
+	}
+	return exitOK
 }

@@ -71,9 +71,18 @@ func checkClockAndRand(pass *analysis.Pass, f *ast.File) {
 		}
 		switch fn.Pkg().Path() {
 		case "time":
-			if fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until" {
+			switch fn.Name() {
+			case "Now", "Since", "Until":
 				pass.Reportf(sel.Pos(),
 					"time.%s reads the wall clock in a result-affecting package; results must be a pure function of (spec, seed) — inject timestamps, or suppress with //lint:allow determinism <reason> if this never reaches results",
+					fn.Name())
+			case "After", "AfterFunc", "Tick", "NewTimer", "NewTicker":
+				// The timer audit: watchdogs, backoff pacing and progress
+				// tickers are legitimate, but each use must carry an
+				// explained suppression stating why its firing can never
+				// influence a result.
+				pass.Reportf(sel.Pos(),
+					"time.%s schedules off the wall clock in a result-affecting package; timer firings must never select or alter a result — if this is a watchdog, backoff or telemetry timer, explain that with //lint:allow determinism <reason>",
 					fn.Name())
 			}
 		case "math/rand", "math/rand/v2":

@@ -21,6 +21,25 @@ func telemetry() time.Time {
 	return time.Now() //lint:allow determinism fixture: wall clock feeds telemetry only
 }
 
+func timers(d time.Duration) {
+	<-time.After(d)              // want `time\.After schedules off the wall clock`
+	t := time.NewTimer(d)        // want `time\.NewTimer schedules off the wall clock`
+	k := time.NewTicker(d)       // want `time\.NewTicker schedules off the wall clock`
+	time.AfterFunc(d, func() {}) // want `time\.AfterFunc schedules off the wall clock`
+	t.Stop()
+	k.Stop()
+}
+
+func watchdog(d time.Duration) *time.Timer {
+	// The audited form: a timer whose suppression explains why its firing
+	// cannot reach a result.
+	return time.NewTimer(d) //lint:allow determinism fixture: watchdog only converts a hang into an error
+}
+
+func sleeping(d time.Duration) {
+	time.Sleep(d) // pacing without a readable value: deliberately not flagged
+}
+
 func globalDraw() (int, uint64) {
 	a := rand.Intn(8)    // want `rand\.Intn draws from the process-global source`
 	b := randv2.Uint64() // want `rand\.Uint64 draws from the process-global source`

@@ -48,8 +48,10 @@ func benchFingerprint(b workload.Benchmark) string {
 // runJob adapts Run to the engine's job signature: scenarios with an
 // explicit Seed keep it; a zero Seed takes the engine-derived one (hash
 // of fingerprint + base seed), giving every sweep point its own
-// deterministic stream.
-func runJob(sc Scenario, seed uint64) (Outcome, error) {
+// deterministic stream. The simulator itself is not context-aware, so a
+// cancelled job finishes its current simulation before the worker
+// returns; the engine's watchdog handles a genuinely hung one.
+func runJob(_ context.Context, sc Scenario, seed uint64) (Outcome, error) {
 	if sc.Seed == 0 {
 		sc.Seed = seed
 	}
@@ -60,6 +62,7 @@ var (
 	engMu      sync.Mutex
 	sharedEng  *engine.Engine[Scenario, Outcome]
 	sharedOpts engine.Options
+	sharedCtx  context.Context
 )
 
 // SetEngineOptions replaces the process-wide evaluation engine (worker
@@ -82,12 +85,35 @@ func getEngine() *engine.Engine[Scenario, Outcome] {
 	return sharedEng
 }
 
+// SetRunContext installs the context every subsequent RunAll runs
+// under, letting commands tie sweeps to signal handling: cancelling it
+// (e.g. on SIGINT) stops dispatch, flushes the checkpoint journal
+// through the engine's per-job records, and returns partial results
+// plus the context error. nil restores context.Background().
+func SetRunContext(ctx context.Context) {
+	engMu.Lock()
+	defer engMu.Unlock()
+	sharedCtx = ctx
+}
+
+func runContext() context.Context {
+	engMu.Lock()
+	defer engMu.Unlock()
+	if sharedCtx == nil {
+		return context.Background()
+	}
+	return sharedCtx
+}
+
 // RunAll evaluates the scenarios through the shared parallel engine and
 // returns outcomes in scenario order. Results are memoized by
 // fingerprint for the life of the process (and on disk when configured),
-// and are identical at any worker count.
+// and are identical at any worker count. Under the engine's Collect
+// policy a *engine.RunError comes back alongside the partial outcomes
+// (failed scenarios hold the zero Outcome); callers that aggregate must
+// treat any error as disqualifying the affected outcomes.
 func RunAll(scs []Scenario) ([]Outcome, error) {
-	return getEngine().Run(context.Background(), scs)
+	return getEngine().Run(runContext(), scs)
 }
 
 // EngineStats reports the shared engine's cumulative job and cache-hit

@@ -2,7 +2,7 @@
 // "hundreds of simulations" behind Table 7 and every other sweep-shaped
 // experiment — through one shared, deterministic parallel runner.
 //
-// The engine provides four things every sweep caller used to hand-roll:
+// The engine provides what every sweep caller used to hand-roll:
 //
 //   - a bounded worker pool (GOMAXPROCS-sized by default, -j overridable)
 //     consuming a queue of simulation specs;
@@ -12,26 +12,70 @@
 //   - a memoized result store — always in memory, optionally on disk
 //     (-cache dir) — keyed by the canonical spec fingerprint, so repeated
 //     table/sweep runs skip already-computed points;
-//   - a progress/throughput reporter (jobs done, jobs/s, ETA) on stderr.
+//   - a progress/throughput reporter (jobs done, jobs/s, ETA) on stderr;
+//   - a resilience layer: per-job panic containment, bounded retries
+//     with deterministic fingerprint-derived backoff, a per-job watchdog
+//     timeout, a Collect failure policy that finishes the sweep and
+//     reports failed specs by fingerprint, and a checkpoint journal so
+//     an interrupted sweep resumes where it left off.
 //
 // Results come back in spec order regardless of completion order, which
 // together with the seed contract makes engine output a pure function of
 // (specs, base seed): `-j 1` and `-j 8` produce byte-identical reports.
+// Retries preserve that contract: a retried attempt reuses the same
+// derived seed, so a run that needed retries is byte-identical to a run
+// that did not.
 package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
+// RunFunc computes one job's result from its spec and derived seed. The
+// context is cancelled when the sweep is aborted or when the job's
+// watchdog timeout fires; long-running implementations should honor it
+// so a killed job releases its worker promptly (a run that ignores the
+// context is abandoned by the watchdog and its goroutine lingers until
+// the computation finishes on its own).
+type RunFunc[S, R any] func(ctx context.Context, spec S, seed uint64) (R, error)
+
+// FailurePolicy selects what Run does when a job fails after all
+// retries.
+type FailurePolicy int
+
+const (
+	// FailFast cancels the remaining queue on the first failed job and
+	// returns its error — the strict, abort-everything behavior.
+	FailFast FailurePolicy = iota
+	// Collect finishes the whole sweep, fills every successful index,
+	// and returns the partial results together with a *RunError listing
+	// each failed spec by fingerprint.
+	Collect
+)
+
+func (p FailurePolicy) String() string {
+	switch p {
+	case FailFast:
+		return "fail"
+	case Collect:
+		return "continue"
+	default:
+		return fmt.Sprintf("FailurePolicy(%d)", int(p))
+	}
+}
+
 // Options configures an Engine. The zero value is usable: GOMAXPROCS
-// workers, base seed 0, no disk cache, no progress output.
+// workers, base seed 0, no disk cache, no retries, fail-fast, no
+// timeout, no checkpoint, no progress output.
 type Options struct {
 	// Workers bounds the worker pool; <= 0 means runtime.GOMAXPROCS(0).
 	Workers int
@@ -47,6 +91,24 @@ type Options struct {
 	ProgressEvery time.Duration
 	// Label prefixes progress lines; empty means "engine".
 	Label string
+
+	// Retries is how many times a failed job is re-run before it counts
+	// as failed (0 = a single attempt). Retried attempts reuse the same
+	// derived seed, so retries never change results.
+	Retries int
+	// RetryBackoff is the base delay between attempts; the actual delay
+	// grows with the attempt number plus a deterministic jitter derived
+	// from the job fingerprint (see RetryDelay). 0 retries immediately.
+	RetryBackoff time.Duration
+	// Policy selects fail-fast or collect-and-continue error handling.
+	Policy FailurePolicy
+	// JobTimeout bounds a single attempt's wall time; when it elapses
+	// the watchdog cancels the attempt's context and records a
+	// *TimeoutError. 0 disables the watchdog.
+	JobTimeout time.Duration
+	// Checkpoint, when non-nil, journals every completed fingerprint so
+	// an interrupted sweep can be resumed (see OpenCheckpoint).
+	Checkpoint *Checkpoint
 }
 
 // Stats counts the engine's work since creation. Jobs is the number of
@@ -59,6 +121,19 @@ type Stats struct {
 	Ran      int64
 	MemHits  int64
 	DiskHits int64
+	// Retried counts re-run attempts; Failed counts jobs that exhausted
+	// their retries; TimedOut and Panicked break Failed-or-retried
+	// attempts down by cause.
+	Retried  int64
+	Failed   int64
+	TimedOut int64
+	Panicked int64
+	// Quarantined counts corrupt on-disk cache entries that were set
+	// aside and recomputed.
+	Quarantined int64
+	// Resumed counts unique jobs that a checkpoint journal already
+	// recorded as complete when Run started.
+	Resumed int64
 	// Elapsed is the wall-clock time spent inside Run calls.
 	Elapsed time.Duration
 }
@@ -83,8 +158,19 @@ func (s Stats) Throughput() float64 {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("%d jobs (%d unique), %d ran, %d memo + %d disk hits (%.1f%% hit rate), %.1f jobs/s",
+	out := fmt.Sprintf("%d jobs (%d unique), %d ran, %d memo + %d disk hits (%.1f%% hit rate), %.1f jobs/s",
 		s.Jobs, s.Unique, s.Ran, s.MemHits, s.DiskHits, s.HitRate()*100, s.Throughput())
+	if s.Retried > 0 || s.Failed > 0 {
+		out += fmt.Sprintf(", %d retried, %d failed (%d timeouts, %d panics)",
+			s.Retried, s.Failed, s.TimedOut, s.Panicked)
+	}
+	if s.Quarantined > 0 {
+		out += fmt.Sprintf(", %d cache entries quarantined", s.Quarantined)
+	}
+	if s.Resumed > 0 {
+		out += fmt.Sprintf(", %d resumed from checkpoint", s.Resumed)
+	}
+	return out
 }
 
 // Engine runs spec-shaped jobs of type S producing results of type R.
@@ -92,8 +178,10 @@ func (s Stats) String() string {
 // its lifetime.
 type Engine[S, R any] struct {
 	key  func(S) string
-	run  func(spec S, seed uint64) (R, error)
+	run  RunFunc[S, R]
 	opts Options
+
+	sweepTemps sync.Once
 
 	mu    sync.Mutex
 	memo  map[string]R
@@ -104,7 +192,7 @@ type Engine[S, R any] struct {
 // fingerprints are assumed to denote identical work and are computed only
 // once. run receives the spec plus its derived seed (DeriveSeed of the
 // fingerprint); callers whose specs carry explicit seeds may ignore it.
-func New[S, R any](key func(S) string, run func(spec S, seed uint64) (R, error), opts Options) *Engine[S, R] {
+func New[S, R any](key func(S) string, run RunFunc[S, R], opts Options) *Engine[S, R] {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -131,14 +219,25 @@ type job[S any] struct {
 	indices []int
 }
 
-// Run evaluates every spec and returns the results in spec order. The
-// first job error cancels the remaining queue and is returned; ctx
-// cancellation stops dispatching (in-flight jobs finish first) and
-// returns ctx.Err(). Run never leaks goroutines: all workers have exited
-// by the time it returns.
+// Run evaluates every spec and returns the results in spec order.
+//
+// Under the FailFast policy the first job failure (after retries)
+// cancels the remaining queue and is returned; under Collect the whole
+// sweep finishes and failures come back as a *RunError alongside the
+// partial results (failed indices hold the zero R). Cancelling ctx
+// stops dispatching (in-flight jobs finish first) and returns the
+// partial results plus ctx.Err(); completed jobs are already cached and
+// checkpointed, so a resumed run recomputes only what is missing. Run
+// never leaks goroutines on its own: all workers have exited by the
+// time it returns (only a job that ignores its context after the
+// watchdog fired can leave its computation behind).
 func (e *Engine[S, R]) Run(ctx context.Context, specs []S) ([]R, error) {
 	start := time.Now() //lint:allow determinism wall-clock only feeds Stats.Elapsed and the progress reporter, never results
 	results := make([]R, len(specs))
+
+	if e.opts.CacheDir != "" {
+		e.sweepTemps.Do(func() { cleanStaleTemps(e.opts.CacheDir) })
+	}
 
 	// Group duplicate fingerprints so each is computed once per batch.
 	byKey := make(map[string]*job[S], len(specs))
@@ -160,15 +259,22 @@ func (e *Engine[S, R]) Run(ctx context.Context, specs []S) ([]R, error) {
 		}
 	}
 
-	// Resolve the memo layers before spinning up workers.
+	// Resolve the memo layers before spinning up workers. A checkpoint
+	// journal entry means a previous run completed the job: its result
+	// normally arrives via the disk cache; if the cache entry is gone or
+	// was quarantined the job is simply recomputed.
 	var pending []*job[S]
-	var memHits, diskHits int64
+	var memHits, diskHits, resumed int64
 	for _, j := range order {
+		if e.opts.Checkpoint.Done(j.key) {
+			resumed++
+		}
 		e.mu.Lock()
 		r, ok := e.memo[j.key]
 		e.mu.Unlock()
 		if ok {
 			fill(j, r)
+			e.recordDone(j.key)
 			memHits++
 			continue
 		}
@@ -177,6 +283,7 @@ func (e *Engine[S, R]) Run(ctx context.Context, specs []S) ([]R, error) {
 			e.memo[j.key] = r
 			e.mu.Unlock()
 			fill(j, r)
+			e.recordDone(j.key)
 			diskHits++
 			continue
 		}
@@ -192,6 +299,7 @@ func (e *Engine[S, R]) Run(ctx context.Context, specs []S) ([]R, error) {
 	var wg sync.WaitGroup
 	var errMu sync.Mutex
 	var firstErr error
+	var failures []JobFailure
 	for w := 0; w < e.opts.Workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -200,11 +308,24 @@ func (e *Engine[S, R]) Run(ctx context.Context, specs []S) ([]R, error) {
 				if runCtx.Err() != nil {
 					continue // drain the queue without working
 				}
-				r, err := e.run(j.spec, DeriveSeed(e.opts.BaseSeed, j.key))
+				r, attempts, err := e.executeJob(runCtx, j)
 				if err != nil {
+					if runCtx.Err() != nil && errors.Is(err, context.Canceled) {
+						continue // sweep aborted, not a job failure
+					}
+					e.countFailure(err)
+					if e.opts.Policy == Collect {
+						errMu.Lock()
+						failures = append(failures, JobFailure{
+							Key: j.key, Index: j.indices[0], Attempts: attempts, Err: err,
+						})
+						errMu.Unlock()
+						done.Add(1)
+						continue
+					}
 					errMu.Lock()
 					if firstErr == nil {
-						firstErr = fmt.Errorf("engine: job %d/%d: %w", j.indices[0]+1, len(specs), err)
+						firstErr = fmt.Errorf("engine: job %d/%d (%s): %w", j.indices[0]+1, len(specs), j.key, err)
 					}
 					errMu.Unlock()
 					cancel()
@@ -215,6 +336,7 @@ func (e *Engine[S, R]) Run(ctx context.Context, specs []S) ([]R, error) {
 				e.stats.Ran++
 				e.mu.Unlock()
 				e.diskPut(j.key, r)
+				e.recordDone(j.key)
 				fill(j, r)
 				done.Add(1)
 			}
@@ -237,6 +359,8 @@ feed:
 	e.stats.Unique += int64(len(order))
 	e.stats.MemHits += memHits
 	e.stats.DiskHits += diskHits
+	e.stats.Resumed += resumed
+	e.stats.Failed += int64(len(failures))
 	e.stats.Elapsed += time.Since(start) //lint:allow determinism Stats.Elapsed is operator telemetry, not a result
 	e.mu.Unlock()
 
@@ -244,9 +368,41 @@ feed:
 		return nil, firstErr
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		// Partial results: every completed index is filled, and the
+		// caches/checkpoint already hold the finished jobs.
+		return results, err
+	}
+	if len(failures) > 0 {
+		// Completion order is scheduling-dependent; report failures in
+		// spec order so the error text is deterministic.
+		sort.Slice(failures, func(i, k int) bool { return failures[i].Index < failures[k].Index })
+		return results, &RunError{Failures: failures, Jobs: len(order)}
 	}
 	return results, nil
+}
+
+// recordDone journals a completed fingerprint (a no-op without a
+// checkpoint). Memo and disk hits are journaled too, so the journal is
+// complete even when a resumed run serves most jobs from cache.
+func (e *Engine[S, R]) recordDone(key string) {
+	if e.opts.Checkpoint == nil {
+		return
+	}
+	e.opts.Checkpoint.Record(key)
+}
+
+// countFailure attributes a failed or retried attempt's cause.
+func (e *Engine[S, R]) countFailure(err error) {
+	var te *TimeoutError
+	var pe *PanicError
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch {
+	case errors.As(err, &te):
+		e.stats.TimedOut++
+	case errors.As(err, &pe):
+		e.stats.Panicked++
+	}
 }
 
 // startProgress launches the throughput reporter; the returned func stops
@@ -272,7 +428,7 @@ func (e *Engine[S, R]) startProgress(done *atomic.Int64, total int, start time.T
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		t := time.NewTicker(e.opts.ProgressEvery)
+		t := time.NewTicker(e.opts.ProgressEvery) //lint:allow determinism the progress ticker paces stderr telemetry, never results
 		defer t.Stop()
 		for {
 			select {
@@ -293,9 +449,10 @@ func (e *Engine[S, R]) startProgress(done *atomic.Int64, total int, start time.T
 // DeriveSeed maps (base seed, spec fingerprint) to the job's simulation
 // seed: an FNV-1a hash of the fingerprint mixed with the base seed and
 // finalized with splitmix64. The derivation depends only on its inputs —
-// never on worker count or completion order — which is what makes sweep
-// output reproducible at any parallelism level. The result is never 0 so
-// downstream code can keep treating a zero seed as "unset".
+// never on worker count, completion order or retry attempt — which is
+// what makes sweep output reproducible at any parallelism level. The
+// result is never 0 so downstream code can keep treating a zero seed as
+// "unset".
 func DeriveSeed(base uint64, key string) uint64 {
 	h := fnv.New64a()
 	io.WriteString(h, key)

@@ -28,7 +28,7 @@ type testResult struct {
 
 // computeFn derives the result purely from spec + seed, like a
 // simulation does.
-func computeFn(s testSpec, seed uint64) (testResult, error) {
+func computeFn(_ context.Context, s testSpec, seed uint64) (testResult, error) {
 	return testResult{ID: s.ID, Seed: seed, Val: float64(seed%1000) / 1000}, nil
 }
 
@@ -87,9 +87,9 @@ func TestDeriveSeed(t *testing.T) {
 // batch computes nothing and reports full hits.
 func TestMemoAccounting(t *testing.T) {
 	var calls atomic.Int64
-	counting := func(s testSpec, seed uint64) (testResult, error) {
+	counting := func(ctx context.Context, s testSpec, seed uint64) (testResult, error) {
 		calls.Add(1)
-		return computeFn(s, seed)
+		return computeFn(ctx, s, seed)
 	}
 	e := New(specKey, counting, Options{Workers: 4})
 	in := specs(20)
@@ -114,9 +114,9 @@ func TestMemoAccounting(t *testing.T) {
 // computed once and every index still gets its result.
 func TestBatchDeduplication(t *testing.T) {
 	var calls atomic.Int64
-	counting := func(s testSpec, seed uint64) (testResult, error) {
+	counting := func(ctx context.Context, s testSpec, seed uint64) (testResult, error) {
 		calls.Add(1)
-		return computeFn(s, seed)
+		return computeFn(ctx, s, seed)
 	}
 	e := New(specKey, counting, Options{Workers: 4})
 	in := []testSpec{{ID: 7}, {ID: 8}, {ID: 7}, {ID: 7}}
@@ -182,11 +182,11 @@ func TestDiskCache(t *testing.T) {
 // contextualized error.
 func TestErrorPropagation(t *testing.T) {
 	boom := errors.New("boom")
-	failing := func(s testSpec, seed uint64) (testResult, error) {
+	failing := func(ctx context.Context, s testSpec, seed uint64) (testResult, error) {
 		if s.ID == 3 {
 			return testResult{}, boom
 		}
-		return computeFn(s, seed)
+		return computeFn(ctx, s, seed)
 	}
 	e := New(specKey, failing, Options{Workers: 2})
 	_, err := e.Run(context.Background(), specs(8))
@@ -205,12 +205,12 @@ func TestCancellationLeavesNoGoroutines(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	var started atomic.Int64
-	slow := func(s testSpec, seed uint64) (testResult, error) {
+	slow := func(ctx context.Context, s testSpec, seed uint64) (testResult, error) {
 		if started.Add(1) == 3 {
 			cancel() // pull the plug mid-sweep
 		}
 		time.Sleep(2 * time.Millisecond)
-		return computeFn(s, seed)
+		return computeFn(ctx, s, seed)
 	}
 	e := New(specKey, slow, Options{Workers: 4, Progress: io.Discard, ProgressEvery: time.Millisecond})
 	_, err := e.Run(ctx, specs(200))
