@@ -1,0 +1,248 @@
+// Command suitbench is the CI performance harness for the simulator's
+// hot path. It runs the zero-allocation steady-state benchmarks
+// (BenchmarkMachineHotPath in internal/cpu), times a smoke-sized
+// suitsweep grid end to end, and writes the combined measurement to a
+// JSON report (BENCH_5.json by default).
+//
+// The exit status is the regression gate: any hot-path benchmark that
+// reports a nonzero allocs/op fails the run, because a steady-state
+// allocation is exactly the class of regression the indexed event queue
+// and Machine.Reset were built to eliminate.
+//
+// Usage:
+//
+//	suitbench [-out BENCH_5.json] [-count 3] [-instr 2e6] [-skip-sweep]
+//
+// Run it from the repository root: it shells out to the go tool for the
+// benchmarks and builds cmd/suitsweep for the throughput timing.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchStat aggregates the -count repetitions of one benchmark: the
+// minimum ns/op (least-noise estimate) and the maximum allocs/op and
+// B/op (the gate must see the worst repetition).
+type benchStat struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	MinNsPerOp  float64 `json:"min_ns_per_op"`
+	MaxAllocsOp float64 `json:"max_allocs_per_op"`
+	MaxBytesOp  float64 `json:"max_bytes_per_op"`
+}
+
+// sweepStat is the end-to-end throughput of a cold smoke sweep: the
+// full 240-parameter × 5-workload grid (1200 scenario points) at a
+// reduced instruction count.
+type sweepStat struct {
+	Points       int     `json:"points"`
+	Instructions uint64  `json:"instructions_per_point"`
+	Seconds      float64 `json:"seconds"`
+	PointsPerSec float64 `json:"points_per_sec"`
+	Workers      int     `json:"workers"`
+}
+
+type report struct {
+	GoVersion   string      `json:"go_version"`
+	BenchCount  int         `json:"bench_count"`
+	Benchmarks  []benchStat `json:"benchmarks"`
+	Sweep       *sweepStat  `json:"sweep,omitempty"`
+	AllocFree   bool        `json:"steady_state_alloc_free"`
+	ElapsedSecs float64     `json:"harness_seconds"`
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		out       = flag.String("out", "BENCH_5.json", "JSON report path")
+		count     = flag.Int("count", 3, "benchmark repetitions (-count for go test)")
+		benchPat  = flag.String("bench", "BenchmarkMachineHotPath", "benchmark pattern (-bench for go test)")
+		instrStr  = flag.String("instr", "2e6", "instructions per sweep point for the smoke grid")
+		workers   = flag.Int("j", runtime.GOMAXPROCS(0), "sweep workers")
+		skipSweep = flag.Bool("skip-sweep", false, "measure only the benchmarks, not the smoke sweep")
+	)
+	flag.Parse()
+	instrF, err := strconv.ParseFloat(*instrStr, 64)
+	if err != nil || instrF < 1 {
+		fmt.Fprintf(os.Stderr, "bad -instr %q\n", *instrStr)
+		return 2
+	}
+
+	start := time.Now()
+	rep := report{GoVersion: runtime.Version(), BenchCount: *count, AllocFree: true}
+
+	stats, err := runBenchmarks(*benchPat, *count)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "suitbench:", err)
+		return 1
+	}
+	rep.Benchmarks = stats
+
+	if !*skipSweep {
+		sw, err := runSmokeSweep(uint64(instrF), *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "suitbench:", err)
+			return 1
+		}
+		rep.Sweep = sw
+		fmt.Printf("smoke sweep: %d points in %.2fs = %.1f points/s (instr=%s, j=%d)\n",
+			sw.Points, sw.Seconds, sw.PointsPerSec, *instrStr, *workers)
+	}
+
+	code := 0
+	for _, s := range stats {
+		fmt.Printf("%-50s %12.0f ns/op %8.0f B/op %6.0f allocs/op (%d runs)\n",
+			s.Name, s.MinNsPerOp, s.MaxBytesOp, s.MaxAllocsOp, s.Runs)
+		if s.MaxAllocsOp > 0 {
+			fmt.Fprintf(os.Stderr, "suitbench: FAIL: %s allocates %.0f allocs/op in steady state, want 0\n",
+				s.Name, s.MaxAllocsOp)
+			rep.AllocFree = false
+			code = 1
+		}
+	}
+	if len(stats) == 0 {
+		fmt.Fprintf(os.Stderr, "suitbench: no benchmarks matched %q\n", *benchPat)
+		return 1
+	}
+
+	rep.ElapsedSecs = time.Since(start).Seconds()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "suitbench:", err)
+		return 1
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "suitbench:", err)
+		return 1
+	}
+	fmt.Printf("report written to %s\n", *out)
+	return code
+}
+
+// runBenchmarks shells out to go test and aggregates the repetitions.
+func runBenchmarks(pattern string, count int) ([]benchStat, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", pattern, "-benchtime", "1x", "-count", strconv.Itoa(count),
+		"./internal/cpu")
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test -bench: %w\n%s", err, buf.String())
+	}
+	byName := map[string]*benchStat{}
+	var order []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		s, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		agg, seen := byName[s.Name]
+		if !seen {
+			cp := s
+			byName[s.Name] = &cp
+			order = append(order, s.Name)
+			continue
+		}
+		agg.Runs += s.Runs
+		agg.MinNsPerOp = min(agg.MinNsPerOp, s.MinNsPerOp)
+		agg.MaxAllocsOp = max(agg.MaxAllocsOp, s.MaxAllocsOp)
+		agg.MaxBytesOp = max(agg.MaxBytesOp, s.MaxBytesOp)
+	}
+	var stats []benchStat
+	for _, name := range order {
+		stats = append(stats, *byName[name])
+	}
+	return stats, nil
+}
+
+// parseBenchLine decodes one `go test -bench` result line, e.g.
+//
+//	BenchmarkMachineHotPath/dense-trap-8  1  2049713 ns/op  0 B/op  0 allocs/op
+func parseBenchLine(line string) (benchStat, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return benchStat{}, false
+	}
+	s := benchStat{Name: trimCPUSuffix(f[0]), Runs: 1}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return benchStat{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			s.MinNsPerOp = v
+		case "B/op":
+			s.MaxBytesOp = v
+		case "allocs/op":
+			s.MaxAllocsOp = v
+		}
+	}
+	return s, s.MinNsPerOp > 0
+}
+
+// trimCPUSuffix drops go test's trailing -<GOMAXPROCS> so repetitions
+// aggregate under a stable name across machines.
+func trimCPUSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// runSmokeSweep builds cmd/suitsweep and times a cold full-grid run at
+// a smoke instruction count. 240 parameter points × 5 workloads = 1200
+// scenario points; the binary prints its ranking to stdout, which the
+// harness discards — only wall time matters here.
+func runSmokeSweep(instr uint64, workers int) (*sweepStat, error) {
+	dir, err := os.MkdirTemp("", "suitbench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	bin := filepath.Join(dir, "suitsweep")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/suitsweep")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return nil, fmt.Errorf("building suitsweep: %w", err)
+	}
+
+	sweep := exec.Command(bin, "-chip", "C",
+		"-instr", strconv.FormatUint(instr, 10),
+		"-j", strconv.Itoa(workers))
+	sweep.Stdout = nil // ranking discarded; determinism is tested elsewhere
+	sweep.Stderr = os.Stderr
+	start := time.Now()
+	if err := sweep.Run(); err != nil {
+		return nil, fmt.Errorf("suitsweep smoke run: %w", err)
+	}
+	elapsed := time.Since(start).Seconds()
+
+	const points = 240 * 5
+	return &sweepStat{
+		Points:       points,
+		Instructions: instr,
+		Seconds:      elapsed,
+		PointsPerSec: float64(points) / elapsed,
+		Workers:      workers,
+	}, nil
+}

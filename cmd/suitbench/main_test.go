@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	s, ok := parseBenchLine("BenchmarkMachineHotPath/dense-trap-8 \t 1 \t 2049713 ns/op \t 128 B/op \t 2 allocs/op")
+	if !ok {
+		t.Fatal("valid bench line rejected")
+	}
+	if s.Name != "BenchmarkMachineHotPath/dense-trap" {
+		t.Errorf("name %q: -8 CPU suffix not trimmed", s.Name)
+	}
+	if s.MinNsPerOp != 2049713 || s.MaxBytesOp != 128 || s.MaxAllocsOp != 2 {
+		t.Errorf("parsed %+v", s)
+	}
+
+	for _, line := range []string{
+		"ok  \tsuit/internal/cpu\t0.31s",
+		"goos: linux",
+		"PASS",
+		"BenchmarkBroken-8 not numbers here",
+		"",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("non-result line parsed as a benchmark: %q", line)
+		}
+	}
+
+	// A benchmark without -benchmem style columns still parses.
+	s, ok = parseBenchLine("BenchmarkMachineEventLoop-4   5   304958 ns/op")
+	if !ok || s.MinNsPerOp != 304958 || s.MaxAllocsOp != 0 {
+		t.Errorf("plain ns/op line: ok=%v %+v", ok, s)
+	}
+}
+
+func TestTrimCPUSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-8":           "BenchmarkX",
+		"BenchmarkX/sub-case-16": "BenchmarkX/sub-case",
+		"BenchmarkX/sub-case":    "BenchmarkX/sub-case",
+		"BenchmarkX":             "BenchmarkX",
+	}
+	for in, want := range cases {
+		if got := trimCPUSuffix(in); got != want {
+			t.Errorf("trimCPUSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,5 +1,5 @@
 // Command suitlint is the SUIT simulator's static-analysis suite. It
-// bundles four domain analyzers:
+// bundles five domain analyzers:
 //
 //	determinism  no wall clock, global rand, unseeded sources or
 //	             order-dependent map iteration in result-affecting
@@ -10,6 +10,9 @@
 //	             no bare cross-unit conversions
 //	panicpath    panic only for machine invariants; I/O and command
 //	             paths return errors
+//	hotpath      math.Pow in internal/cpu's per-event code must carry
+//	             an explained allow (the constant-voltage fast path
+//	             makes the slow path exceptional)
 //
 // Findings are suppressed line-by-line with an explained comment:
 //
@@ -35,6 +38,7 @@ import (
 	"suit/internal/analysis"
 	"suit/internal/analysis/determinism"
 	"suit/internal/analysis/exhaustive"
+	"suit/internal/analysis/hotpath"
 	"suit/internal/analysis/load"
 	"suit/internal/analysis/panicpath"
 	"suit/internal/analysis/unitchecker"
@@ -47,6 +51,7 @@ func analyzers() []*analysis.Analyzer {
 		exhaustive.Analyzer,
 		unitsafe.Analyzer,
 		panicpath.Analyzer,
+		hotpath.Analyzer,
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -40,19 +41,28 @@ func chipByName(name string) (dvfs.Chip, bool) {
 	}
 }
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main with its streams and exit status lifted out, so the
+// machine-level golden test can execute the full CLI in-process and
+// byte-compare stdout across scheduler implementations.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("suitsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		chipName  = flag.String("chip", "C", "CPU model: A (i9-9900K), B (7700X), C (Xeon 4208), i5")
-		benchName = flag.String("bench", "557.xz", "workload name (see -list)")
-		specFile  = flag.String("spec", "", "JSON workload spec file instead of a built-in model")
-		strat     = flag.String("strategy", "fV", "operating strategy: fV f V e dyn adaptive noSIMD unsafe")
-		cores     = flag.Int("cores", 1, "number of workload copies pinned to cores")
-		offset    = flag.Int("offset", 97, "undervolt magnitude in mV: 70 or 97")
-		instr     = flag.Uint64("instr", 0, "instructions per core (0 = default)")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
-		list      = flag.Bool("list", false, "list workloads and exit")
+		chipName  = fs.String("chip", "C", "CPU model: A (i9-9900K), B (7700X), C (Xeon 4208), i5")
+		benchName = fs.String("bench", "557.xz", "workload name (see -list)")
+		specFile  = fs.String("spec", "", "JSON workload spec file instead of a built-in model")
+		strat     = fs.String("strategy", "fV", "operating strategy: fV f V e dyn adaptive noSIMD unsafe")
+		cores     = fs.Int("cores", 1, "number of workload copies pinned to cores")
+		offset    = fs.Int("offset", 97, "undervolt magnitude in mV: 70 or 97")
+		instr     = fs.Uint64("instr", 0, "instructions per core (0 = default)")
+		seed      = fs.Uint64("seed", 1, "simulation seed")
+		list      = fs.Bool("list", false, "list workloads and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		t := report.NewTable("Workloads", "name", "suite", "IPC", "IMUL %")
@@ -60,37 +70,37 @@ func main() {
 			t.AddRow(b.Name, b.Suite.String(), fmt.Sprintf("%.1f", b.IPC),
 				fmt.Sprintf("%.2f", b.IMULFraction*100))
 		}
-		_ = t.Render(os.Stdout)
-		return
+		_ = t.Render(stdout)
+		return 0
 	}
 
 	chip, ok := chipByName(*chipName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown chip %q\n", *chipName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown chip %q\n", *chipName)
+		return 2
 	}
 	var b workload.Benchmark
 	if *specFile != "" {
 		data, err := os.ReadFile(*specFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		if err := json.Unmarshal(data, &b); err != nil {
-			fmt.Fprintf(os.Stderr, "parsing %s: %v\n", *specFile, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "parsing %s: %v\n", *specFile, err)
+			return 1
 		}
 	} else {
 		var ok bool
 		b, ok = workload.ByName(*benchName)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown workload %q (use -list)\n", *benchName)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "unknown workload %q (use -list)\n", *benchName)
+			return 2
 		}
 	}
 	if *offset != 70 && *offset != 97 {
-		fmt.Fprintln(os.Stderr, "-offset must be 70 or 97 (the paper's design points)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "-offset must be 70 or 97 (the paper's design points)")
+		return 2
 	}
 
 	o, err := core.Run(core.Scenario{
@@ -103,11 +113,11 @@ func main() {
 		Seed:         *seed,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
-	fmt.Printf("%s on %s, strategy %s, %d core(s), offset %v\n\n",
+	fmt.Fprintf(stdout, "%s on %s, strategy %s, %d core(s), offset %v\n\n",
 		b.Name, chip.Name, *strat, max(*cores, 1), o.Offset)
 	t := report.NewTable("", "metric", "baseline", "SUIT", "change")
 	t.AddRow("duration", o.Base.Duration.String(), o.Run.Duration.String(), report.Pct(-o.Change.Perf/(1+o.Change.Perf)))
@@ -115,18 +125,19 @@ func main() {
 	t.AddRow("avg power", o.Base.AvgPower.String(), o.Run.AvgPower.String(), report.Pct(o.Change.Power))
 	t.AddRow("energy", o.Base.Energy.String(), o.Run.Energy.String(), "")
 	t.AddRow("efficiency", "", "", report.Pct(o.Efficiency))
-	if err := t.Render(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if err := t.Render(stdout); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
-	fmt.Printf("\nefficient-curve residency: %.1f %%\n", o.EfficientShare*100)
-	fmt.Printf("#DO exceptions: %d (emulated: %d), curve switches: %d, deadline fires: %d\n",
+	fmt.Fprintf(stdout, "\nefficient-curve residency: %.1f %%\n", o.EfficientShare*100)
+	fmt.Fprintf(stdout, "#DO exceptions: %d (emulated: %d), curve switches: %d, deadline fires: %d\n",
 		o.Run.Exceptions, o.Run.Emulated, o.Run.Switches, o.Run.DeadlineFires)
-	fmt.Printf("hardened-IMUL overhead applied: %s\n", report.Pct2(o.IMULOverhead))
+	fmt.Fprintf(stdout, "hardened-IMUL overhead applied: %s\n", report.Pct2(o.IMULOverhead))
 	if err := security.VerifyNoFaults(o.Run); err != nil {
-		fmt.Printf("SECURITY: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stdout, "SECURITY: %v\n", err)
+		return 1
 	}
-	fmt.Println("security monitor: no silent faults ✓")
+	fmt.Fprintln(stdout, "security monitor: no silent faults ✓")
+	return 0
 }

@@ -1,6 +1,69 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files from current output")
+
+// TestGoldenOutput pins the CLI's stdout byte-for-byte on three fixed
+// seeds spanning all three paper chips, single- and multi-core runs and
+// three strategies. The goldens were captured before the indexed event
+// queue replaced the linear scan, so any drift in event ordering, float
+// evaluation or report formatting fails here. Regenerate deliberately
+// with: go test ./cmd/suitsim -run TestGoldenOutput -update
+func TestGoldenOutput(t *testing.T) {
+	cases := []struct {
+		golden string
+		args   []string
+	}{
+		{"golden_c_xz.txt", []string{"-chip", "C", "-bench", "557.xz", "-strategy", "fV", "-offset", "97", "-instr", "20000000", "-seed", "7"}},
+		{"golden_a_x264.txt", []string{"-chip", "A", "-bench", "525.x264", "-strategy", "e", "-offset", "97", "-instr", "20000000", "-seed", "3"}},
+		{"golden_b_nginx.txt", []string{"-chip", "B", "-bench", "nginx", "-strategy", "f", "-offset", "70", "-cores", "2", "-instr", "20000000", "-seed", "5"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.golden, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 0 {
+				t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+			}
+			path := filepath.Join("testdata", tc.golden)
+			if *updateGolden {
+				if err := os.WriteFile(path, stdout.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(stdout.Bytes(), want) {
+				t.Errorf("output diverges from %s:\n--- got ---\n%s\n--- want ---\n%s",
+					path, stdout.String(), want)
+			}
+		})
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-chip", "pentium"},
+		{"-bench", "no-such-workload"},
+		{"-offset", "50"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want usage exit 2 (stderr: %q)", args, code, stderr.String())
+		}
+	}
+}
 
 func TestChipByName(t *testing.T) {
 	cases := map[string]string{

@@ -43,6 +43,7 @@ import (
 	"suit/internal/dvfs"
 	"suit/internal/engine"
 	"suit/internal/metrics"
+	"suit/internal/prof"
 	"suit/internal/report"
 	"suit/internal/strategy"
 	"suit/internal/units"
@@ -194,6 +195,8 @@ func run() int {
 		onError    = flag.String("on-error", "fail", "failure policy: 'fail' stops at the first failed job, 'continue' finishes the sweep and reports failures")
 		jobTimeout = flag.Duration("job-timeout", 0, "per-job watchdog timeout (0 disables)")
 		resume     = flag.Bool("resume", false, "resume an interrupted sweep from the checkpoint journal (requires -cache)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file (flushed on exit, including SIGINT)")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	// ContinueOnError so a flag typo follows the same usage exit code as
 	// our own validation, instead of the flag package's hardwired 2.
@@ -231,6 +234,17 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "-resume needs -cache: the checkpoint journal lives next to the result cache")
 		return exitUsage
 	}
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitUsage
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "suitsweep: profile flush:", err)
+		}
+	}()
 
 	// SIGINT cancels the run context: dispatch stops, in-flight jobs
 	// finish and are checkpointed, and we report how to resume.

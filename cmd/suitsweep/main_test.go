@@ -45,8 +45,10 @@ func TestSweepGridShape(t *testing.T) {
 }
 
 // TestSweepDeterministicAcrossWorkers runs a miniature sweep at -j 1 and
-// -j 8 and demands identical ranked results — the acceptance contract of
-// the parallel engine.
+// -j 8, cold and warm (reusing the on-disk result cache), and demands
+// identical ranked results across all four combinations — the acceptance
+// contract of the parallel engine, and the machine-level oracle that the
+// indexed event queue preserved the linear scan's event order.
 func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 	chip := dvfs.XeonSilver4208()
 	grid := sweepGrid(chip)[:3]
@@ -56,21 +58,45 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 	}
 	benches = benches[:2]
 
+	type variant struct {
+		name    string
+		workers int
+		warm    bool
+	}
+	variants := []variant{
+		{"j1-cold", 1, false},
+		{"j8-cold", 8, false},
+		{"j1-warm", 1, true},
+		{"j8-warm", 8, true},
+	}
+	cacheDir := t.TempDir()
 	var runs [][]sweepPoint
-	for _, workers := range []int{1, 8} {
-		core.SetEngineOptions(engine.Options{Workers: workers, BaseSeed: 1})
+	for _, v := range variants {
+		opts := engine.Options{Workers: v.workers, BaseSeed: 1}
+		if v.warm {
+			// Warm runs read every point back from the cache the cold
+			// runs populated; a decode/encode asymmetry would diverge here.
+			opts.CacheDir = cacheDir
+		} else if v.workers == 1 {
+			// One cold run also writes the cache so the warm runs hit it.
+			opts.CacheDir = cacheDir
+		}
+		core.SetEngineOptions(opts)
 		points, failed, err := sweep(chip, grid, benches, true, 2_000_000)
 		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
+			t.Fatalf("%s: %v", v.name, err)
 		}
 		if len(failed) != 0 {
-			t.Fatalf("workers=%d: unexpected failures %v", workers, failed)
+			t.Fatalf("%s: unexpected failures %v", v.name, failed)
 		}
 		runs = append(runs, points)
 	}
 	core.SetEngineOptions(engine.Options{}) // restore defaults for other tests
-	if !reflect.DeepEqual(runs[0], runs[1]) {
-		t.Fatalf("sweep diverged across worker counts:\n-j 1: %+v\n-j 8: %+v", runs[0], runs[1])
+	for i := 1; i < len(runs); i++ {
+		if !reflect.DeepEqual(runs[0], runs[i]) {
+			t.Fatalf("sweep diverged between %s and %s:\n%+v\n%+v",
+				variants[0].name, variants[i].name, runs[0], runs[i])
+		}
 	}
 	// Seeds derive per point, so distinct grid points must not share one.
 	k0 := core.Scenario{Chip: chip, Bench: benches[0], Kind: core.KindFV,

@@ -34,6 +34,7 @@ import (
 
 	"suit/internal/core"
 	"suit/internal/engine"
+	"suit/internal/prof"
 )
 
 type experiment struct {
@@ -102,6 +103,8 @@ func run() int {
 		onError    = flag.String("on-error", "fail", "engine failure policy: 'fail' stops a sweep at the first failed job, 'continue' finishes it and reports failures")
 		jobTimeout = flag.Duration("job-timeout", 0, "per-job watchdog timeout (0 disables)")
 		resume     = flag.Bool("resume", false, "resume interrupted experiments from the checkpoint journal (requires -cache)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file (flushed on exit, including SIGINT)")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file (flushed on exit, including SIGINT)")
 	)
 	flag.CommandLine.Init("suittables", flag.ContinueOnError)
 	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
@@ -121,6 +124,17 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "-resume needs -cache: the checkpoint journal lives next to the result cache")
 		return exitUsage
 	}
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitUsage
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "suittables: profile flush:", err)
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

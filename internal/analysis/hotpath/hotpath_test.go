@@ -1,0 +1,13 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"suit/internal/analysis/analysistest"
+	"suit/internal/analysis/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpath.Analyzer,
+		"suit/internal/cpu", "suit/internal/other")
+}

@@ -1,0 +1,6 @@
+// Package other is outside the hot-path boundary: math.Pow is fine here.
+package other
+
+import "math"
+
+func Free(v, e float64) float64 { return math.Pow(v, e) }

@@ -6,7 +6,6 @@ import (
 
 	"suit/internal/dvfs"
 	"suit/internal/isa"
-	"suit/internal/msr"
 	"suit/internal/units"
 )
 
@@ -80,16 +79,18 @@ func (c controller) Domains() int      { return len(c.m.domains) }
 
 func (c controller) Mode(domain int) Mode { return c.m.domains[domain].target }
 
-// at runs fn at the handler clock: immediately when the handler has not
-// advanced past simulation time, deferred otherwise. MSR writes and timer
-// arming must not become visible to other cores before the handler
-// actually reaches that line.
-func (c controller) at(fn func()) {
+// at performs a at the handler clock: immediately when the handler has
+// not advanced past simulation time, deferred otherwise. MSR writes and
+// timer arming must not become visible to other cores before the handler
+// actually reaches that line. Actions are typed values (applySched), not
+// closures, so deferring one does not allocate.
+func (c controller) at(a schedAction) {
 	if c.m.handlerTime <= c.m.now {
-		fn()
+		c.m.applySched(&a)
 		return
 	}
-	c.m.scheduled = append(c.m.scheduled, schedAction{t: c.m.handlerTime, fn: fn})
+	a.t = c.m.handlerTime
+	c.m.pushSched(a)
 }
 
 func (c controller) RequestWait(domain int, mode Mode) {
@@ -106,19 +107,13 @@ func (c controller) RequestAsync(domain int, mode Mode) {
 func (c controller) DisableInstructions(domain int) {
 	d := c.m.domains[domain]
 	d.disabledView = true
-	c.at(func() {
-		d.msrs.Poke(msr.SUITDisable, uint64(isa.FaultableMask))
-		d.disabled = true
-	})
+	c.at(schedAction{kind: schedDisable, d: d})
 }
 
 func (c controller) EnableInstructions(domain int) {
 	d := c.m.domains[domain]
 	d.disabledView = false
-	c.at(func() {
-		d.msrs.Poke(msr.SUITDisable, 0)
-		d.disabled = false
-	})
+	c.at(schedAction{kind: schedEnable, d: d})
 }
 
 func (c controller) ArmDeadline(domain int, dur units.Second) {
@@ -126,28 +121,19 @@ func (c controller) ArmDeadline(domain int, dur units.Second) {
 		panic(fmt.Sprintf("cpu: non-positive deadline %v", dur))
 	}
 	d := c.m.domains[domain]
-	expiry := c.m.handlerTime + dur
-	c.at(func() {
-		d.deadlineDur = dur
-		d.deadlineAt = expiry
-		d.msrs.Poke(msr.SUITDeadline, uint64(dur.Microseconds()*1000)) // ns ticks
-	})
+	c.at(schedAction{kind: schedArmDeadline, d: d, dur: dur, expiry: c.m.handlerTime + dur})
 }
 
 func (c controller) DisarmDeadline(domain int) {
-	d := c.m.domains[domain]
-	c.at(func() {
-		d.deadlineAt = 0
-		d.msrs.Poke(msr.SUITDeadline, 0)
-	})
+	c.at(schedAction{kind: schedDisarmDeadline, d: c.m.domains[domain]})
 }
 
 func (c controller) ExceptionsWithin(domain int, window units.Second) int {
 	d := c.m.domains[domain]
 	cutoff := c.m.handlerTime - window
 	n := 0
-	for i := len(d.exceptions) - 1; i >= 0; i-- {
-		if d.exceptions[i] < cutoff {
+	for i, kept := 0, d.excKept(); i < kept; i++ {
+		if d.excNth(i) < cutoff {
 			break
 		}
 		n++
@@ -222,6 +208,8 @@ func (m *Machine) requestTransition(domainID int, mode Mode, t units.Second) uni
 	if d.freq == target.F && curV == target.V {
 		d.target = mode
 		d.mode = mode
+		m.syncTransition(d)
+		m.syncDomainCores(d)
 		return t
 	}
 	m.res.Switches++
@@ -233,7 +221,11 @@ func (m *Machine) requestTransition(domainID int, mode Mode, t units.Second) uni
 	tm := m.cfg.Chip.Transition
 	norm := m.rng.NormFloat64
 
-	tr := &transition{target: mode}
+	// The transition record is embedded in the domain: a superseded
+	// pending plan is fully read above before this overwrite, so reusing
+	// the buffer is safe and keeps the steady state allocation-free.
+	tr := &d.pendBuf
+	*tr = transition{target: mode}
 	voltChange := curV != target.V
 	freqChange := d.freq != target.F
 
@@ -284,6 +276,8 @@ func (m *Machine) requestTransition(domainID int, mode Mode, t units.Second) uni
 	tr.voltDone = d.voltT1
 	tr.end = max(tr.freqApply, d.voltT1)
 	d.pending = tr
+	m.syncTransition(d)
+	m.syncDomainCores(d)
 	return tr.safeAt
 }
 

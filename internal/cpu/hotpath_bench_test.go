@@ -1,0 +1,61 @@
+package cpu
+
+import (
+	"testing"
+
+	"suit/internal/trace"
+	"suit/internal/units"
+)
+
+// hotPathTrace builds a trace with faultable events every gap
+// instructions, cycling through the faultable set.
+func hotPathTrace(total, gap uint64) *trace.Trace {
+	tr := &trace.Trace{Name: "hot", Total: total, IPC: 2}
+	for idx := gap; idx < total; idx += gap {
+		tr.Events = append(tr.Events, trace.Event{Index: idx, Op: benchOp()})
+	}
+	return tr
+}
+
+// BenchmarkMachineHotPath measures the steady-state event loop: the
+// machine is built and warmed once, then every iteration replays the
+// whole run via Reset. The steady state must be allocation-free — the
+// CI bench job (cmd/suitbench) fails when allocs/op is nonzero.
+func BenchmarkMachineHotPath(b *testing.B) {
+	run := func(b *testing.B, cfg Config, s Strategy) {
+		b.Helper()
+		m, err := New(cfg, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The warm-up run grows the exception ring, event queue and
+		// scheduler buffers to steady-state capacity outside the timer,
+		// so even -benchtime=1x observes the zero-allocation regime.
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		m.Reset()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Run(); err != nil {
+				b.Fatal(err)
+			}
+			m.Reset()
+		}
+	}
+	b.Run("dense-trap", func(b *testing.B) {
+		run(b, testConfig(hotPathTrace(2_000_000, 200)), fvLite{deadline: units.Microseconds(30)})
+	})
+	b.Run("sparse-trap", func(b *testing.B) {
+		run(b, testConfig(hotPathTrace(20_000_000, 500_000)), fvLite{deadline: units.Microseconds(30)})
+	})
+	b.Run("multi-core", func(b *testing.B) {
+		run(b, testConfig(
+			hotPathTrace(2_000_000, 400),
+			hotPathTrace(2_000_000, 700),
+			hotPathTrace(2_000_000, 1100),
+			hotPathTrace(2_000_000, 1700),
+		), fvLite{deadline: units.Microseconds(30)})
+	})
+}

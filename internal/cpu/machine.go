@@ -333,12 +333,42 @@ type domain struct {
 	disabledView bool
 
 	pending *transition
+	// pendBuf backs pending: transitions are planned into this embedded
+	// record instead of a fresh allocation per request (requestTransition
+	// fully consumes any superseded plan before overwriting it).
+	pendBuf transition
 
 	deadlineAt  units.Second // 0 = disarmed
 	deadlineDur units.Second
 
 	// exceptions holds recent #DO timestamps for thrashing prevention.
+	// It fills to excRingCap entries and then becomes a ring indexed by
+	// excTotal (see recordException/excKept/excNth in run.go).
 	exceptions []units.Second
+	excTotal   uint64 // total #DO recorded over the run
+
+	// Constant-voltage integrand cache for advanceTo's fast path:
+	// when the ramp is settled, vcV2/vcVe hold the per-second ∫V²/∫Vᵉ
+	// integrands at vcGoal. Keyed on voltGoal — starting a new ramp
+	// changes voltGoal or un-settles voltT1, either of which bypasses or
+	// refreshes the cache.
+	vcOK       bool
+	vcGoal     units.Volt
+	vcV2, vcVe float64
+
+	// Pow chain cache for the mid-ramp slow path: successive integration
+	// segments share an endpoint (this segment's start voltage is the
+	// previous segment's end voltage), so the last math.Pow(v, exp) result
+	// is memoized. Pow is pure, so the cache never needs invalidation.
+	pvOK     bool
+	pvV, pvP float64
+
+	// Conservative-curve voltage at the current frequency, memoized for
+	// the per-arrival safety monitor. VoltageAt is a pure function of the
+	// frequency, so the cache is keyed on freq alone.
+	consVOK   bool
+	consVFreq units.Hertz
+	consV     units.Volt
 }
 
 // voltAt returns the domain voltage at time t (linear regulator ramp).
@@ -368,11 +398,21 @@ type Machine struct {
 	domains []*domain
 	cores   []*core
 	rng     *rand.Rand
+	pcg     *rand.PCG // rng's source, reseedable in place by Reset
 
 	now      units.Second
 	meter    power.Integrator
 	rapl     *power.RAPL
 	strategy Strategy
+
+	// voltExp is the resolved dynamic-power exponent (Config default
+	// applied once); uncoreW the precomputed package floor in watts.
+	voltExp float64
+	uncoreW float64
+	// physMargin is Faults.PhysicalMargin per opcode, precomputed so the
+	// per-arrival safety monitor indexes an array instead of hashing into
+	// the model's margin map.
+	physMargin [isa.NumOpcodes]units.Volt
 
 	// handlerTime is the OS-handler clock while a strategy hook runs.
 	handlerTime units.Second
@@ -380,19 +420,46 @@ type Machine struct {
 	// timer context).
 	handlerCore int
 	// scheduled holds handler effects that land later in simulated time.
+	// Entries are tombstoned in place (done flag) and the slice resets
+	// once all are consumed, keeping indices — and the insertion-order
+	// tie-break — stable with O(1) removal.
 	scheduled []schedAction
+	schedLive int
+	// eq is the indexed event scheduler (see eventq.go).
+	eq eventQueue
 	// nextSample is the next grid point when SampleEvery is active.
 	nextSample units.Second
 	// coreDomain maps core → domain when Config.DomainOf is set.
 	coreDomain []int
 
+	// Test hooks: linearScan selects the reference nextEventLinear scan
+	// instead of the heap; audit cross-checks the heap after every event;
+	// evLog records the dispatched (t, kind, who) sequence.
+	linearScan bool
+	audit      bool
+	evLog      *[]eventRecord
+
 	res Result
 }
 
-// schedAction is a deferred handler effect.
+// schedKind enumerates the deferred handler effects.
+type schedKind uint8
+
+const (
+	schedDisable schedKind = iota
+	schedEnable
+	schedArmDeadline
+	schedDisarmDeadline
+)
+
+// schedAction is a deferred handler effect as plain data (no closure):
+// kind selects the operation in applySched, d its target domain.
 type schedAction struct {
-	t  units.Second
-	fn func()
+	t           units.Second
+	kind        schedKind
+	d           *domain
+	dur, expiry units.Second // deadline arming parameters
+	done        bool         // consumed (tombstone)
 }
 
 // handlerDisabled reports the OS-visible disable state of d.
@@ -437,14 +504,23 @@ func New(cfg Config, strategy Strategy) (*Machine, error) {
 		Cv:   Point{F: baseState.F, V: chip.Vendor.VoltageAt(baseState.F)},
 	}
 
+	seededPCG := rand.NewPCG(cfg.Seed, cfg.Seed^0x5DEECE66D)
 	m := &Machine{
 		cfg:         cfg,
 		pts:         pts,
 		cons:        chip.Vendor,
-		rng:         rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x5DEECE66D)),
+		pcg:         seededPCG,
+		rng:         rand.New(seededPCG),
 		rapl:        power.NewRAPL(0),
 		strategy:    strategy,
 		handlerCore: -1,
+	}
+	m.voltExp = cfg.Chip.Power.VoltExp
+	if m.voltExp == 0 {
+		m.voltExp = 2
+	}
+	for op := 0; op < isa.NumOpcodes; op++ {
+		m.physMargin[op] = cfg.Faults.PhysicalMargin(isa.Opcode(op), cfg.HardenedIMUL)
 	}
 
 	for i, tr := range cfg.Traces {
@@ -480,7 +556,70 @@ func New(cfg Config, strategy Strategy) (*Machine, error) {
 		}
 	}
 	m.res.PerCore = make([]units.Second, len(m.cores))
+	// Identical expression to the uncore term advanceTo used to evaluate
+	// per event; hoisting the sum preserves the bit pattern.
+	pm := cfg.Chip.Power
+	m.uncoreW = float64(pm.Uncore) + float64(pm.UncorePerCore)*float64(len(m.cores))
+	m.eq.init(len(m.cores) + 4*len(m.domains))
 	return m, nil
+}
+
+// resetMSRs are the registers the simulator itself writes during a run;
+// Reset restores them to their boot values.
+var resetMSRs = [...]msr.Addr{msr.SUITDisable, msr.SUITCurve, msr.SUITDeadline, msr.SUITDOCount}
+
+// Reset rewinds the machine to its initial state so it can be Run again
+// with the same configuration and seed. A Reset machine produces a
+// byte-identical Result to a freshly built one, without allocating —
+// the benchmark harness measures steady-state Run cost with it. The
+// strategy is the caller's: it must be stateless (all shipped strategies
+// are) or reset separately.
+func (m *Machine) Reset() {
+	m.now = 0
+	m.handlerTime = 0
+	m.handlerCore = -1
+	m.nextSample = 0
+	m.meter.Reset()
+	m.rapl.Reset()
+	m.pcg.Seed(m.cfg.Seed, m.cfg.Seed^0x5DEECE66D)
+	m.scheduled = m.scheduled[:0]
+	m.schedLive = 0
+	m.eq.init(len(m.cores) + 4*len(m.domains))
+	for _, c := range m.cores {
+		c.idx = 0
+		c.pos = 0
+		c.finished = false
+		c.blockedUntil = 0
+		c.retry = false
+		c.done = 0
+	}
+	start := m.pts.Base
+	for _, d := range m.domains {
+		d.mode, d.target = ModeBase, ModeBase
+		d.freq = start.F
+		d.volt, d.voltGoal = start.V, start.V
+		d.voltT0, d.voltT1 = 0, 0
+		d.disabled, d.disabledView = false, false
+		d.pending = nil
+		d.deadlineAt, d.deadlineDur = 0, 0
+		d.exceptions = d.exceptions[:0]
+		d.excTotal = 0
+		d.vcOK = false
+		for _, a := range resetMSRs {
+			d.msrs.Poke(a, 0)
+		}
+		d.msrs.Poke(msr.IA32PerfStatus, msr.EncodePerfStatus(uint8(start.F.GHz()*10), float64(start.V)))
+	}
+	pc := m.res.PerCore
+	for i := range pc {
+		pc[i] = 0
+	}
+	m.res = Result{
+		PerCore:  pc,
+		Faults:   m.res.Faults[:0],
+		Timeline: m.res.Timeline[:0],
+		Samples:  m.res.Samples[:0],
+	}
 }
 
 func newDomain(id int, cores []*core, start Point) *domain {
@@ -493,6 +632,9 @@ func newDomain(id int, cores []*core, start Point) *domain {
 		freq:     start.F,
 		volt:     start.V,
 		voltGoal: start.V,
+		// The exception ring is preallocated at its fixed capacity so
+		// dense-trap runs never grow it (recordException stays in place).
+		exceptions: make([]units.Second, 0, excRingCap),
 	}
 	d.msrs.Poke(msr.IA32PerfStatus, msr.EncodePerfStatus(uint8(start.F.GHz()*10), float64(start.V)))
 	return d
@@ -513,7 +655,12 @@ func (m *Machine) Now() units.Second { return m.now }
 // safeOffset returns how far the instantaneous voltage sits below the
 // conservative curve for the domain's current frequency.
 func (m *Machine) safeOffset(d *domain, t units.Second) units.Volt {
-	return d.voltAt(t) - m.cons.VoltageAt(d.freq)
+	if !d.consVOK || d.consVFreq != d.freq {
+		d.consV = m.cons.VoltageAt(d.freq)
+		d.consVFreq = d.freq
+		d.consVOK = true
+	}
+	return d.voltAt(t) - d.consV
 }
 
 // effExceptionDelay returns the configured #DO entry/exit cost, with a
@@ -524,5 +671,3 @@ func (m *Machine) effExceptionDelay() units.Second {
 	}
 	return units.Second(1e-9)
 }
-
-var _ = math.Inf // keep math import while run.go evolves

@@ -80,11 +80,13 @@ func (m *Machine) WriteMSR(domainID int, addr msr.Addr, value uint64) error {
 		d.msrs.Poke(msr.SUITDeadline, value)
 		if value == 0 {
 			d.deadlineAt = 0
+			m.syncDeadline(d)
 			return nil
 		}
 		dur := units.Second(float64(value) * 1e-9)
 		d.deadlineDur = dur
 		d.deadlineAt = m.now + dur
+		m.syncDeadline(d)
 		return nil
 	default:
 		return d.msrs.Write(addr, value)

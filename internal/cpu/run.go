@@ -15,6 +15,14 @@ import (
 // instruction forever).
 const maxSteps = 200_000_000
 
+// eventRecord is one dispatched event, captured when a test installs
+// m.evLog (the differential heap-vs-linear oracle compares sequences).
+type eventRecord struct {
+	t    units.Second
+	kind evKind
+	who  int
+}
+
 // Run executes all traces to completion and returns the result.
 func (m *Machine) Run() (Result, error) {
 	// OS boot: the strategy configures the machine at time zero.
@@ -36,48 +44,73 @@ func (m *Machine) Run() (Result, error) {
 			d.pending = nil
 		}
 	}
-	for _, a := range m.scheduled {
-		a.fn()
+	for i := range m.scheduled {
+		a := m.scheduled[i]
+		m.applySched(&a)
 	}
 	m.scheduled = m.scheduled[:0]
+	m.schedLive = 0
 	m.handlerTime = 0
+	m.syncAll()
 
 	for step := 0; ; step++ {
 		if step >= maxSteps {
 			return Result{}, errors.New("cpu: event-loop step limit exceeded")
 		}
-		t, kind, who := m.nextEvent()
+		var (
+			t    units.Second
+			kind evKind
+			who  int
+		)
+		if m.linearScan {
+			t, kind, who = m.nextEventLinear()
+		} else {
+			t, kind, who = m.popEvent()
+		}
 		if kind == evNone {
 			break
 		}
 		if t < m.now {
 			return Result{}, fmt.Errorf("cpu: time went backwards: %v < %v", t, m.now)
 		}
+		if m.evLog != nil {
+			*m.evLog = append(*m.evLog, eventRecord{t: t, kind: kind, who: who})
+		}
 		m.advanceTo(t)
 		switch kind {
 		case evSched:
 			a := m.scheduled[who]
-			m.scheduled = append(m.scheduled[:who], m.scheduled[who+1:]...)
-			a.fn()
+			m.consumeSched(who)
+			m.applySched(&a)
 		case evFreqApply:
 			m.applyFreq(m.domains[who])
 		case evTransitionEnd:
 			d := m.domains[who]
 			d.mode = d.pending.target
 			d.pending = nil
+			m.syncTransition(d)
 		case evDeadline:
 			m.fireDeadline(who)
 		case evStallStart:
 			// No state change: the boundary only segments power/timing.
-			m.domains[who].pending.stallFrom = -1 // consumed as an event
+			d := m.domains[who]
+			d.pending.stallFrom = -1 // consumed as an event
+			m.syncDomainCores(d)     // the stall window is now active
 		case evCoreArrive:
 			m.coreArrive(m.cores[who])
 		case evCoreUnblock:
-			m.cores[who].blockedUntil = 0
+			c := m.cores[who]
+			c.blockedUntil = 0
 			// The pending (retrying) instruction is handled on the next
 			// iteration via evCoreArrive at the same timestamp.
+			m.syncCore(c)
 		case evNone:
-			panic("cpu: evNone dispatched; nextEvent filters it above")
+			panic("cpu: evNone dispatched; the scheduler filters it above")
+		}
+		if m.audit {
+			if err := m.auditQueue(); err != nil {
+				return Result{}, err
+			}
 		}
 		// The measurement interval ends when the last core commits its
 		// stream; residual transitions or timer events past that point
@@ -128,8 +161,13 @@ const (
 	evCoreUnblock
 )
 
-// nextEvent returns the earliest pending event.
-func (m *Machine) nextEvent() (units.Second, evKind, int) {
+// nextEventLinear is the pre-scheduler linear scan, kept verbatim as the
+// reference implementation for the differential oracle (enabled via the
+// test-only m.linearScan flag; production always uses popEvent). The
+// only change from the original nextEvent is skipping tombstoned
+// scheduled entries, whose stable indices reproduce the insertion-order
+// tie-break of the old compacting slice.
+func (m *Machine) nextEventLinear() (units.Second, evKind, int) {
 	best := units.Second(math.Inf(1))
 	kind := evNone
 	who := -1
@@ -141,8 +179,11 @@ func (m *Machine) nextEvent() (units.Second, evKind, int) {
 	}
 	// Deferred handler effects come first so that, at equal timestamps,
 	// an instruction-enable lands before the trapped core retries.
-	for i, a := range m.scheduled {
-		consider(a.t, evSched, i)
+	for i := range m.scheduled {
+		if m.scheduled[i].done {
+			continue
+		}
+		consider(m.scheduled[i].t, evSched, i)
 	}
 	for i, d := range m.domains {
 		if p := d.pending; p != nil {
@@ -201,6 +242,8 @@ func (m *Machine) applyFreq(d *domain) {
 		d.mode = p.target
 		d.pending = nil
 	}
+	m.syncTransition(d)
+	m.syncDomainCores(d) // new frequency, stall window over
 }
 
 // fireDeadline delivers the timer interrupt to the strategy.
@@ -213,6 +256,44 @@ func (m *Machine) fireDeadline(domainID int) {
 	m.strategy.OnDeadline(controller{m}, domainID)
 }
 
+// excRingCap is the exception ring capacity; excKeep replicates the old
+// copy-truncation low-water mark so thrashing-window counts stay
+// byte-identical (the slice used to grow to excRingCap entries and then
+// be copy-truncated to its newest excKeep).
+const (
+	excRingCap = 8192 // power of two (ring indices are masked)
+	excKeep    = 4096
+)
+
+// recordException appends a #DO timestamp. Once the ring is full, the
+// oldest entry is overwritten in place — the allocation-free equivalent
+// of the old append-then-copy-truncate pattern.
+func (d *domain) recordException(t units.Second) {
+	if len(d.exceptions) < excRingCap {
+		d.exceptions = append(d.exceptions, t)
+	} else {
+		d.exceptions[int(d.excTotal&(excRingCap-1))] = t
+	}
+	d.excTotal++
+}
+
+// excKept returns how many recent exceptions are visible to
+// ExceptionsWithin — exactly the slice length the old grow-then-truncate
+// code would have at this append count (it cycled between excKeep and
+// excRingCap entries).
+func (d *domain) excKept() int {
+	if d.excTotal <= excRingCap {
+		return int(d.excTotal)
+	}
+	return excKeep + int((d.excTotal-excRingCap-1)%(excRingCap-excKeep+1))
+}
+
+// excNth returns the i-th newest recorded exception (0 = newest);
+// i must be < excKept().
+func (d *domain) excNth(i int) units.Second {
+	return d.exceptions[int((d.excTotal-1-uint64(i))&(excRingCap-1))]
+}
+
 // coreArrive processes a core reaching its next trace event (or the end
 // of its stream).
 func (m *Machine) coreArrive(c *core) {
@@ -221,6 +302,7 @@ func (m *Machine) coreArrive(c *core) {
 		c.pos = float64(c.tr.Total)
 		c.finished = true
 		c.done = m.now
+		m.syncCore(c)
 		return
 	}
 	ev := c.tr.Events[c.idx]
@@ -232,13 +314,7 @@ func (m *Machine) coreArrive(c *core) {
 		// #DO trap (§3.3). The instruction re-executes after the handler
 		// unless the strategy emulates it.
 		m.res.Exceptions++
-		d.exceptions = append(d.exceptions, m.now)
-		if len(d.exceptions) > 8192 {
-			// Thrashing prevention only looks back a short window; keep
-			// the tail.
-			n := copy(d.exceptions, d.exceptions[len(d.exceptions)-4096:])
-			d.exceptions = d.exceptions[:n]
-		}
+		d.recordException(m.now)
 		doCount, err := d.msrs.Read(msr.SUITDOCount)
 		if err != nil {
 			panic(err) // machine invariant: SUITDOCount is always mapped
@@ -250,6 +326,7 @@ func (m *Machine) coreArrive(c *core) {
 		m.strategy.OnDisabledOpcode(controller{m}, m.domainIndexOf(c.id), c.id, ev.Op)
 		m.handlerCore = -1
 		c.blockedUntil = m.handlerTime
+		m.syncCore(c)
 		return
 	}
 
@@ -257,7 +334,7 @@ func (m *Machine) coreArrive(c *core) {
 	// below its margin silently corrupts (§2.3) — SUIT configurations
 	// must never reach this.
 	off := m.safeOffset(d, m.now)
-	if m.cfg.Faults.Faults(ev.Op, off, m.cfg.HardenedIMUL) {
+	if -off > m.physMargin[ev.Op] {
 		m.res.Faults = append(m.res.Faults, FaultRecord{
 			T: m.now, Core: c.id, Op: ev.Op, V: d.voltAt(m.now),
 			Margin: -off - m.cfg.Faults.PhysicalMargin(ev.Op, m.cfg.HardenedIMUL),
@@ -267,6 +344,7 @@ func (m *Machine) coreArrive(c *core) {
 	// disabled on the efficient curve restarts the count-down (§4.1).
 	if d.deadlineAt > 0 && trapped && !m.cfg.NoDeadlineReset {
 		d.deadlineAt = m.now + d.deadlineDur
+		m.syncDeadline(d)
 	}
 	c.retry = false
 	c.pos = float64(ev.Index) + 1
@@ -275,12 +353,22 @@ func (m *Machine) coreArrive(c *core) {
 		c.finished = true
 		c.done = m.now
 	}
+	m.syncCore(c)
 }
 
 // advanceTo integrates power and residency from m.now to t and moves the
 // clock. Within the segment each domain's frequency and each core's
 // activity are constant; the voltage may be mid-ramp and is integrated
 // analytically.
+//
+// Fast path: a settled domain (voltT1 <= m.now) has a constant voltage,
+// so its ∫V²dt and ∫Vᵉdt integrands are cached per domain and the
+// per-event Simpson/math.Pow work is skipped. The cached constants use
+// the exact same floating-point expressions the general integral would
+// evaluate for a single constant-voltage segment, keeping the energy
+// totals bit-identical; the cache keys on voltGoal, which is the settled
+// voltage, so any new ramp (which changes voltGoal or voltT1) naturally
+// invalidates it.
 func (m *Machine) advanceTo(t units.Second) {
 	dt := t - m.now
 	if dt < 0 {
@@ -302,14 +390,24 @@ func (m *Machine) advanceTo(t units.Second) {
 		}
 	}
 	pm := m.cfg.Chip.Power
-	exp := pm.VoltExp
-	if exp == 0 {
-		exp = 2
-	}
-	energy := (float64(pm.Uncore) + float64(pm.UncorePerCore)*float64(len(m.cores))) * float64(dt)
+	fdt := float64(dt)
+	energy := m.uncoreW * fdt
 	for _, d := range m.domains {
-		v2 := d.voltPowIntegral(m.now, t, 2)   // ∫V² dt (leakage)
-		ve := d.voltPowIntegral(m.now, t, exp) // ∫Vᵉ dt (dynamic)
+		var v2, ve float64
+		if d.voltT1 <= m.now {
+			if !d.vcOK || d.vcGoal != d.voltGoal {
+				d.refreshVoltCache(m.voltExp)
+			}
+			v2 = d.vcV2 * fdt
+			ve = d.vcVe * fdt
+		} else {
+			v2, ve = d.voltPowIntegrals(m.now, t, m.voltExp)
+		}
+		// Hoisted per-domain factors. Only multiplications are factored
+		// out (left-associated exactly as the per-core expression was),
+		// so every core's contribution keeps its original bit pattern.
+		dyn := pm.CoreCeff * ve * float64(d.freq)
+		leak := pm.LeakGV * v2
 		for _, c := range d.cores {
 			activity := 1.0
 			switch {
@@ -321,10 +419,10 @@ func (m *Machine) advanceTo(t units.Second) {
 			// Core progress for running cores.
 			if activity == 1.0 && !c.finished {
 				rate := c.tr.IPC * float64(d.freq) / c.rate
-				c.pos += rate * float64(dt)
+				c.pos += rate * fdt
 			}
-			energy += pm.CoreCeff * ve * float64(d.freq) * activity
-			energy += pm.LeakGV * v2
+			energy += dyn * activity
+			energy += leak
 		}
 		// Residency for the first domain (reports use domain 0).
 		if d == m.domains[0] {
@@ -339,41 +437,84 @@ func (m *Machine) advanceTo(t units.Second) {
 	m.now = t
 }
 
-// voltPowIntegral computes ∫ V(τ)ᵉ dτ over [t0, t1] with the domain's
-// piecewise-linear voltage profile. The quadratic case is exact; other
-// exponents use Simpson's rule per linear segment, which is accurate to
-// ~10⁻⁸ relative over the millivolt-scale ramps that occur here.
-func (d *domain) voltPowIntegral(t0, t1 units.Second, exp float64) float64 {
-	total := 0.0
-	segment := func(a, b units.Second) {
-		if b <= a {
-			return
-		}
-		va, vb := float64(d.voltAt(a)), float64(d.voltAt(b))
-		if exp == 2 {
-			// Exact: ∫(va + (vb-va)·s)² = (va² + va·vb + vb²)/3 × length.
-			total += (va*va + va*vb + vb*vb) / 3 * float64(b-a)
-			return
-		}
-		vm := (va + vb) / 2
-		total += (math.Pow(va, exp) + 4*math.Pow(vm, exp) + math.Pow(vb, exp)) / 6 * float64(b-a)
+// refreshVoltCache computes the constant-voltage integrands at voltGoal.
+// The expressions replicate, term by term, what voltPowIntegral would
+// evaluate over a single settled segment (va == vb == voltGoal): the
+// quadrature sum is formed the same way and divided before scaling by
+// dt, so the fast path is bit-identical to the slow path it bypasses.
+func (d *domain) refreshVoltCache(exp float64) {
+	v := float64(d.voltGoal)
+	s := v * v
+	d.vcV2 = (s + s + s) / 3
+	if exp == 2 {
+		d.vcVe = d.vcV2
+	} else {
+		p := math.Pow(v, exp) //lint:allow hotpath cache refresh off the per-event path; runs once per settled voltage level
+		d.vcVe = (p + 4*p + p) / 6
 	}
-	// Split at the ramp boundaries.
-	points := []units.Second{t0, t1}
+	d.vcGoal = d.voltGoal
+	d.vcOK = true
+}
+
+// voltPowIntegrals computes ∫V²dτ (leakage) and ∫Vᵉdτ (dynamic) over
+// [t0, t1] in one pass over the domain's piecewise-linear voltage
+// profile. The quadratic integral is exact; other exponents use
+// Simpson's rule per linear segment, which is accurate to ~10⁻⁸
+// relative over the millivolt-scale ramps that occur here. Only
+// mid-ramp segments reach this slow path; settled domains use the
+// per-domain cache in advanceTo.
+//
+// Consecutive advanceTo segments within a ramp share an endpoint, so
+// math.Pow at the segment start is served from the domain's chain cache
+// (pvV/pvP) — one Pow per segment is the previous segment's end.
+func (d *domain) voltPowIntegrals(t0, t1 units.Second, exp float64) (i2, ie float64) {
+	// Split at the ramp boundaries. A fixed array keeps the hot loop
+	// allocation-free.
+	var points [4]units.Second
+	points[0], points[1] = t0, t1
+	n := 2
 	if d.voltT0 > t0 && d.voltT0 < t1 {
-		points = append(points, d.voltT0)
+		points[n] = d.voltT0
+		n++
 	}
 	if d.voltT1 > t0 && d.voltT1 < t1 {
-		points = append(points, d.voltT1)
+		points[n] = d.voltT1
+		n++
 	}
 	// Simple 4-element sort.
-	for i := 1; i < len(points); i++ {
+	for i := 1; i < n; i++ {
 		for j := i; j > 0 && points[j] < points[j-1]; j-- {
 			points[j], points[j-1] = points[j-1], points[j]
 		}
 	}
-	for i := 1; i < len(points); i++ {
-		segment(points[i-1], points[i])
+	for i := 1; i < n; i++ {
+		a, b := points[i-1], points[i]
+		if b <= a {
+			continue
+		}
+		va, vb := float64(d.voltAt(a)), float64(d.voltAt(b))
+		seg := float64(b - a)
+		// Exact: ∫(va + (vb-va)·s)² = (va² + va·vb + vb²)/3 × length.
+		i2 += (va*va + va*vb + vb*vb) / 3 * seg
+		if exp == 2 {
+			continue
+		}
+		var pa float64
+		if d.pvOK && d.pvV == va {
+			pa = d.pvP
+		} else {
+			pa = math.Pow(va, exp) //lint:allow hotpath mid-ramp Simpson segments only; settled domains take the cached fast path
+		}
+		vm := (va + vb) / 2
+		pmid := math.Pow(vm, exp) //lint:allow hotpath mid-ramp Simpson midpoint; unique per segment, nothing to cache
+		pb := math.Pow(vb, exp)   //lint:allow hotpath mid-ramp Simpson endpoint; memoized for the next segment's start
+		d.pvV, d.pvP, d.pvOK = vb, pb, true
+		ie += (pa + 4*pmid + pb) / 6 * seg
 	}
-	return total
+	if exp == 2 {
+		// With a quadratic dynamic exponent both integrals accumulate the
+		// identical term sequence, so reuse keeps them bit-equal.
+		ie = i2
+	}
+	return i2, ie
 }

@@ -1,0 +1,57 @@
+// Package prof wires runtime/pprof into the CLIs behind -cpuprofile /
+// -memprofile flags. The stop function it returns flushes both profiles
+// and must run on every exit path — callers defer it inside run() so it
+// also fires on the SIGINT path (signal.NotifyContext cancels the run
+// context, run() returns normally, defers execute before os.Exit).
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuFile (when non-empty) and arranges a
+// heap snapshot to memFile (when non-empty). Either may be empty; the
+// returned stop function is always safe to call exactly once.
+func Start(cpuFile, memFile string) (stop func() error, err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		cpu = f
+	}
+	return func() error {
+		var first error
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				first = err
+			}
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("prof: %w", err)
+				}
+				return first
+			}
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("prof: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("prof: %w", err)
+			}
+		}
+		return first
+	}, nil
+}

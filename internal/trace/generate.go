@@ -38,6 +38,13 @@ func (p Periodic) Emit(dst []Event, total uint64, rng *rand.Rand) []Event {
 	return dst
 }
 
+func (p Periodic) estimateEvents(total uint64) int {
+	if p.Interval == 0 || p.Offset >= total {
+		return 0
+	}
+	return int((total-p.Offset-1)/p.Interval) + 1
+}
+
 // Poisson emits Op with exponentially distributed gaps of the given mean —
 // the memoryless baseline against which the deadline mechanism's burst
 // adaptation is compared.
@@ -62,6 +69,13 @@ func (p Poisson) Emit(dst []Event, total uint64, rng *rand.Rand) []Event {
 		idx = next
 	}
 	return dst
+}
+
+func (p Poisson) estimateEvents(total uint64) int {
+	if p.MeanGap <= 0 {
+		return 0
+	}
+	return int(float64(total)/p.MeanGap*1.1) + 16
 }
 
 // Burst emits Op in bursts: a geometric number of events with small
@@ -122,6 +136,22 @@ func (b Burst) Emit(dst []Event, total uint64, rng *rand.Rand) []Event {
 	return dst
 }
 
+func (b Burst) estimateEvents(total uint64) int {
+	if b.MeanBurstLen < 1 || b.QuietMedian <= 0 {
+		return 0
+	}
+	intra := float64(b.IntraGap)
+	if intra == 0 {
+		intra = 1
+	}
+	meanQuiet := b.QuietMedian * math.Exp(b.QuietSigma*b.QuietSigma/2)
+	cycle := b.MeanBurstLen*intra + meanQuiet
+	if cycle < 1 {
+		cycle = 1
+	}
+	return int(float64(total)/cycle*b.MeanBurstLen*1.2) + 16
+}
+
 // Spec describes a synthetic trace to generate.
 type Spec struct {
 	Name    string
@@ -142,7 +172,17 @@ func Generate(spec Spec) (*Trace, error) {
 		return nil, fmt.Errorf("%w: %v", ErrBadIPC, spec.IPC)
 	}
 	rng := rand.New(rand.NewPCG(spec.Seed, spec.Seed^0x9e3779b97f4a7c15))
-	var events []Event
+	// Size the buffer from the sources' expected event counts: emission
+	// appends millions of events on dense specs, and letting append grow
+	// the slice dominates generation time with copying. Estimates are
+	// deterministic (they never touch rng) and only affect capacity.
+	capHint := 0
+	for _, src := range spec.Sources {
+		if e, ok := src.(interface{ estimateEvents(total uint64) int }); ok {
+			capHint += e.estimateEvents(spec.Total)
+		}
+	}
+	events := make([]Event, 0, capHint)
 	for _, src := range spec.Sources {
 		events = src.Emit(events, spec.Total, rng)
 	}
