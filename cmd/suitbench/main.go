@@ -2,16 +2,21 @@
 // hot path. It runs the zero-allocation steady-state benchmarks
 // (BenchmarkMachineHotPath in internal/cpu), times a smoke-sized
 // suitsweep grid end to end, and writes the combined measurement to a
-// JSON report (BENCH_5.json by default).
+// JSON report (bench.json by default; CI derives a versioned name).
 //
-// The exit status is the regression gate: any hot-path benchmark that
-// reports a nonzero allocs/op fails the run, because a steady-state
-// allocation is exactly the class of regression the indexed event queue
-// and Machine.Reset were built to eliminate.
+// The exit status is the regression gate, on two axes:
+//
+//   - any hot-path benchmark that reports a nonzero allocs/op fails the
+//     run, because a steady-state allocation is exactly the class of
+//     regression the indexed event queue and Machine.Reset were built
+//     to eliminate;
+//   - with -compare BASELINE.json, a smoke-sweep throughput below 85%
+//     of the baseline report's points/s fails the run, so the committed
+//     baseline pins a trajectory every PR must hold.
 //
 // Usage:
 //
-//	suitbench [-out BENCH_5.json] [-count 3] [-instr 2e6] [-skip-sweep]
+//	suitbench [-out bench.json] [-compare BENCH_5.json] [-count 3] [-instr 2e6] [-skip-sweep]
 //
 // Run it from the repository root: it shells out to the go tool for the
 // benchmarks and builds cmd/suitsweep for the throughput timing.
@@ -67,7 +72,8 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		out       = flag.String("out", "BENCH_5.json", "JSON report path")
+		out       = flag.String("out", "bench.json", "JSON report path")
+		compare   = flag.String("compare", "", "baseline report to gate against: fail if sweep points/s drops more than 15% below it")
 		count     = flag.Int("count", 3, "benchmark repetitions (-count for go test)")
 		benchPat  = flag.String("bench", "BenchmarkMachineHotPath", "benchmark pattern (-bench for go test)")
 		instrStr  = flag.String("instr", "2e6", "instructions per sweep point for the smoke grid")
@@ -118,6 +124,13 @@ func run() int {
 		return 1
 	}
 
+	if *compare != "" {
+		if err := compareBaseline(*compare, &rep); err != nil {
+			fmt.Fprintln(os.Stderr, "suitbench: FAIL:", err)
+			code = 1
+		}
+	}
+
 	rep.ElapsedSecs = time.Since(start).Seconds()
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -130,6 +143,37 @@ func run() int {
 	}
 	fmt.Printf("report written to %s\n", *out)
 	return code
+}
+
+// regressionFloor is the fraction of the baseline's sweep throughput a
+// run must hold: below 85% (a >15% regression) the gate fails.
+const regressionFloor = 0.85
+
+// compareBaseline gates the current report's smoke-sweep throughput
+// against a committed baseline report.
+func compareBaseline(path string, rep *report) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if base.Sweep == nil || base.Sweep.PointsPerSec <= 0 {
+		return fmt.Errorf("baseline %s has no sweep measurement to compare against", path)
+	}
+	if rep.Sweep == nil {
+		return fmt.Errorf("this run skipped the smoke sweep (-skip-sweep); cannot compare against %s", path)
+	}
+	floor := base.Sweep.PointsPerSec * regressionFloor
+	fmt.Printf("compare: %.1f points/s vs baseline %.1f from %s (floor %.1f = -15%%)\n",
+		rep.Sweep.PointsPerSec, base.Sweep.PointsPerSec, path, floor)
+	if rep.Sweep.PointsPerSec < floor {
+		return fmt.Errorf("sweep throughput regressed >15%%: %.1f points/s < floor %.1f (baseline %.1f in %s)",
+			rep.Sweep.PointsPerSec, floor, base.Sweep.PointsPerSec, path)
+	}
+	return nil
 }
 
 // runBenchmarks shells out to go test and aggregates the repetitions.

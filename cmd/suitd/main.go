@@ -1,0 +1,121 @@
+// Command suitd serves SUIT simulations as a long-running daemon: an
+// HTTP/JSON API over the shared experiment engine (internal/service).
+// Every submitted spec is content-addressed by its canonical
+// fingerprint, so identical submissions — concurrent or repeated,
+// within one daemon lifetime or across restarts — cost one simulation:
+// concurrent duplicates coalesce onto the live job (single-flight),
+// repeats hit the persistent result store, and overlapping sweeps share
+// scenario results through the engine's content-addressed cache.
+//
+// API:
+//
+//	POST /v1/sweeps                submit a sweep/sim spec → job ID (the spec fingerprint digest)
+//	GET  /v1/sweeps                list jobs
+//	GET  /v1/sweeps/{id}           status + result
+//	GET  /v1/sweeps/{id}/events    progress stream (Server-Sent Events)
+//	GET  /metrics                  Prometheus text format
+//	GET  /healthz                  liveness + drain state
+//
+// Backpressure: the admission queue is bounded (-queue); a submission
+// that finds it full gets 429 with a Retry-After estimate.
+//
+// Shutdown: SIGTERM/SIGINT starts a graceful drain — submissions are
+// refused, running sweeps get -drain-timeout to finish, then their
+// engine runs are cancelled. Completed scenario points are journaled
+// and cached throughout, so a restarted daemon given the same -state
+// dir resumes an interrupted sweep where it stopped and reproduces its
+// result byte-identically. A clean drain exits 0.
+//
+// Example:
+//
+//	suitd -addr :8470 -state /var/lib/suitd
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"suit/internal/service"
+)
+
+const (
+	exitOK    = 0
+	exitUsage = 1
+	exitErr   = 2
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr         = flag.String("addr", ":8470", "listen address")
+		stateDir     = flag.String("state", "", "persistent state directory (scenario cache, result store, checkpoint journals); required")
+		workers      = flag.Int("j", runtime.GOMAXPROCS(0), "engine scenario workers")
+		execJobs     = flag.Int("exec", 2, "jobs executed concurrently (they share the engine pool)")
+		queueDepth   = flag.Int("queue", 64, "admission queue capacity; submissions beyond it get 429 + Retry-After")
+		retries      = flag.Int("retries", 1, "per-scenario retry budget (same derived seed every attempt)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "per-scenario watchdog timeout (0 disables)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long running sweeps may finish after SIGTERM before their runs are cancelled")
+	)
+	flag.CommandLine.Init("suitd", flag.ContinueOnError)
+	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
+		return exitUsage
+	}
+	if *stateDir == "" {
+		fmt.Fprintln(os.Stderr, "suitd: -state is required: the daemon's cache, result store and journals live there")
+		return exitUsage
+	}
+
+	svc, err := service.New(service.Config{
+		StateDir:      *stateDir,
+		EngineWorkers: *workers,
+		ExecJobs:      *execJobs,
+		QueueDepth:    *queueDepth,
+		Retries:       *retries,
+		JobTimeout:    *jobTimeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "suitd:", err)
+		return exitUsage
+	}
+
+	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "suitd: serving on %s (state %s, %d engine workers, queue %d)\n",
+		*addr, *stateDir, *workers, *queueDepth)
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	select {
+	case <-sigCtx.Done():
+		// Graceful drain: stop accepting, let running sweeps finish
+		// inside the drain budget, then cancel — the journals and the
+		// scenario cache make the cancellation lossless.
+		fmt.Fprintf(os.Stderr, "suitd: signal received, draining (timeout %s)\n", *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := svc.Drain(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "suitd: drain timeout hit; interrupted sweeps are journaled and will resume on restart")
+		}
+		if err := server.Shutdown(ctx); err != nil {
+			server.Close()
+		}
+		fmt.Fprintln(os.Stderr, "suitd: drained")
+		return exitOK
+	case err := <-serveErr:
+		if errors.Is(err, http.ErrServerClosed) {
+			return exitOK
+		}
+		fmt.Fprintln(os.Stderr, "suitd:", err)
+		return exitErr
+	}
+}

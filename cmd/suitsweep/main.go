@@ -36,7 +36,6 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
-	"strings"
 	"time"
 
 	"suit/internal/core"
@@ -46,7 +45,6 @@ import (
 	"suit/internal/prof"
 	"suit/internal/report"
 	"suit/internal/strategy"
-	"suit/internal/units"
 	"suit/internal/workload"
 )
 
@@ -56,71 +54,15 @@ type sweepPoint struct {
 	eff float64
 }
 
-// knownChips maps the -chip letters to chip models, in flag-help order.
-var knownChips = []struct {
-	letter string
-	chip   func() dvfs.Chip
-}{
-	{"A", dvfs.IntelI9_9900K},
-	{"B", dvfs.AMDRyzen7700X},
-	{"C", dvfs.XeonSilver4208},
-}
-
-// chipByName resolves a -chip value, case-insensitively.
-func chipByName(name string) (dvfs.Chip, error) {
-	var letters []string
-	for _, k := range knownChips {
-		if strings.EqualFold(name, k.letter) {
-			return k.chip(), nil
-		}
-		letters = append(letters, k.letter)
-	}
-	return dvfs.Chip{}, fmt.Errorf("unknown chip %q (known: %s)", name, strings.Join(letters, ", "))
-}
-
-// sweepGrid builds the Table 7 search region for a chip. CPU ℬ's slow
-// switching gets a coarser, longer-deadline grid.
-func sweepGrid(chip dvfs.Chip) []strategy.Params {
-	deadlines := []float64{10, 20, 30, 50, 80} // µs
-	spans := []float64{150, 450, 900}          // µs
-	if chip.Transition.FreqDelay > units.Microseconds(100) {
-		deadlines = []float64{300, 500, 700, 1000, 1500}
-		spans = []float64{7000, 14000, 28000}
-	}
-	counts := []int{2, 3, 4, 6}
-	factors := []float64{4, 9, 14, 20}
-
-	var grid []strategy.Params
-	for _, dl := range deadlines {
-		for _, ts := range spans {
-			for _, ec := range counts {
-				for _, df := range factors {
-					grid = append(grid, strategy.Params{
-						Deadline:       units.Microseconds(dl),
-						TimeSpan:       units.Microseconds(ts),
-						MaxExceptions:  ec,
-						DeadlineFactor: df,
-					})
-				}
-			}
-		}
-	}
-	return grid
-}
-
-// sweepBenches is the representative workload mix: sparse, medium,
-// dense, bursty.
-func sweepBenches() ([]workload.Benchmark, error) {
-	var benches []workload.Benchmark
-	for _, n := range []string{"557.xz", "502.gcc", "527.cam4", "525.x264", "VLC"} {
-		b, ok := workload.ByName(n)
-		if !ok {
-			return nil, fmt.Errorf("missing workload %s", n)
-		}
-		benches = append(benches, b)
-	}
-	return benches, nil
-}
+// chipByName, sweepGrid and sweepBenches live in internal/core
+// (ChipByName, SweepGrid, SweepBenches) so the suitd service and this
+// CLI resolve specs identically; the thin aliases keep call sites
+// readable.
+var (
+	chipByName   = core.ChipByName
+	sweepGrid    = core.SweepGrid
+	sweepBenches = core.SweepBenches
+)
 
 // sweep evaluates the whole grid × workload matrix through the engine
 // and aggregates the per-point mean efficiency, preserving grid order.

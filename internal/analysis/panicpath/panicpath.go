@@ -23,6 +23,7 @@ var errorPackages = []string{
 	"internal/workload",
 	"internal/report",
 	"internal/msr",
+	"internal/service",
 }
 
 // Analyzer flags panic calls in cmd/ and I/O-adjacent packages.

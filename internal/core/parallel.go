@@ -45,13 +45,16 @@ func benchFingerprint(b workload.Benchmark) string {
 		b.NoSIMD[workload.Intel], b.NoSIMD[workload.AMD])
 }
 
-// runJob adapts Run to the engine's job signature: scenarios with an
+// RunJob adapts Run to the engine's job signature: scenarios with an
 // explicit Seed keep it; a zero Seed takes the engine-derived one (hash
 // of fingerprint + base seed), giving every sweep point its own
 // deterministic stream. The simulator itself is not context-aware, so a
 // cancelled job finishes its current simulation before the worker
 // returns; the engine's watchdog handles a genuinely hung one.
-func runJob(_ context.Context, sc Scenario, seed uint64) (Outcome, error) {
+// Exported so callers that need their own engine instance — the suitd
+// service keeps one with its own cache and stats — run scenarios
+// exactly like the process-wide engine does.
+func RunJob(_ context.Context, sc Scenario, seed uint64) (Outcome, error) {
 	if sc.Seed == 0 {
 		sc.Seed = seed
 	}
@@ -73,14 +76,14 @@ func SetEngineOptions(o engine.Options) {
 	engMu.Lock()
 	defer engMu.Unlock()
 	sharedOpts = o
-	sharedEng = engine.New(Scenario.Fingerprint, runJob, o)
+	sharedEng = engine.New(Scenario.Fingerprint, RunJob, o)
 }
 
 func getEngine() *engine.Engine[Scenario, Outcome] {
 	engMu.Lock()
 	defer engMu.Unlock()
 	if sharedEng == nil {
-		sharedEng = engine.New(Scenario.Fingerprint, runJob, sharedOpts)
+		sharedEng = engine.New(Scenario.Fingerprint, RunJob, sharedOpts)
 	}
 	return sharedEng
 }

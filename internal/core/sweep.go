@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"suit/internal/dvfs"
+	"suit/internal/strategy"
+	"suit/internal/units"
+	"suit/internal/workload"
+)
+
+// knownChips maps the CLI chip letters to chip models, in flag-help
+// order. Shared by suitsweep's -chip flag and the suitd spec decoder so
+// the two front ends can never drift apart on what "chip C" means.
+var knownChips = []struct {
+	letter string
+	chip   func() dvfs.Chip
+}{
+	{"A", dvfs.IntelI9_9900K},
+	{"B", dvfs.AMDRyzen7700X},
+	{"C", dvfs.XeonSilver4208},
+}
+
+// ChipLetters lists the accepted chip names in canonical order.
+func ChipLetters() []string {
+	letters := make([]string, len(knownChips))
+	for i, k := range knownChips {
+		letters[i] = k.letter
+	}
+	return letters
+}
+
+// ChipByName resolves a chip letter, case-insensitively.
+func ChipByName(name string) (dvfs.Chip, error) {
+	for _, k := range knownChips {
+		if strings.EqualFold(name, k.letter) {
+			return k.chip(), nil
+		}
+	}
+	return dvfs.Chip{}, fmt.Errorf("unknown chip %q (known: %s)", name, strings.Join(ChipLetters(), ", "))
+}
+
+// SweepGrid builds the Table 7 search region for a chip: the full
+// deadline × time-span × exception-count × deadline-factor cross
+// product behind "we ran hundreds of simulations". CPU ℬ's slow
+// switching gets a coarser, longer-deadline grid.
+func SweepGrid(chip dvfs.Chip) []strategy.Params {
+	deadlines := []float64{10, 20, 30, 50, 80} // µs
+	spans := []float64{150, 450, 900}          // µs
+	if chip.Transition.FreqDelay > units.Microseconds(100) {
+		deadlines = []float64{300, 500, 700, 1000, 1500}
+		spans = []float64{7000, 14000, 28000}
+	}
+	counts := []int{2, 3, 4, 6}
+	factors := []float64{4, 9, 14, 20}
+
+	var grid []strategy.Params
+	for _, dl := range deadlines {
+		for _, ts := range spans {
+			for _, ec := range counts {
+				for _, df := range factors {
+					grid = append(grid, strategy.Params{
+						Deadline:       units.Microseconds(dl),
+						TimeSpan:       units.Microseconds(ts),
+						MaxExceptions:  ec,
+						DeadlineFactor: df,
+					})
+				}
+			}
+		}
+	}
+	return grid
+}
+
+// SweepBenchNames is the representative workload mix of the parameter
+// sweep: sparse, medium, dense, bursty.
+var SweepBenchNames = []string{"557.xz", "502.gcc", "527.cam4", "525.x264", "VLC"}
+
+// SweepBenches resolves the default sweep workload mix.
+func SweepBenches() ([]workload.Benchmark, error) {
+	return BenchesByName(SweepBenchNames)
+}
+
+// BenchesByName resolves a list of workload registry names, failing on
+// the first unknown one.
+func BenchesByName(names []string) ([]workload.Benchmark, error) {
+	benches := make([]workload.Benchmark, 0, len(names))
+	for _, n := range names {
+		b, ok := workload.ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", n)
+		}
+		benches = append(benches, b)
+	}
+	return benches, nil
+}

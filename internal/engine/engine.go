@@ -134,6 +134,11 @@ type Stats struct {
 	// Resumed counts unique jobs that a checkpoint journal already
 	// recorded as complete when Run started.
 	Resumed int64
+	// Coalesced counts jobs that were served by another Run call's
+	// in-flight or just-finished execution instead of running themselves
+	// — the single-flight dedup that makes N concurrent identical
+	// submissions cost one simulation.
+	Coalesced int64
 	// Elapsed is the wall-clock time spent inside Run calls.
 	Elapsed time.Duration
 }
@@ -170,6 +175,9 @@ func (s Stats) String() string {
 	if s.Resumed > 0 {
 		out += fmt.Sprintf(", %d resumed from checkpoint", s.Resumed)
 	}
+	if s.Coalesced > 0 {
+		out += fmt.Sprintf(", %d coalesced in flight", s.Coalesced)
+	}
 	return out
 }
 
@@ -183,9 +191,20 @@ type Engine[S, R any] struct {
 
 	sweepTemps sync.Once
 
-	mu    sync.Mutex
-	memo  map[string]R
-	stats Stats
+	mu      sync.Mutex
+	memo    map[string]R
+	stats   Stats
+	flights map[string]*flight[R]
+}
+
+// flight is one in-progress execution of a fingerprint, shared between
+// the Run call that leads it and any concurrent Run calls waiting on
+// the same key. The leader publishes r/err before closing done, so a
+// follower that returns from <-f.done reads them race-free.
+type flight[R any] struct {
+	done chan struct{}
+	r    R
+	err  error
 }
 
 // New builds an engine. key must return a canonical fingerprint: equal
@@ -202,7 +221,8 @@ func New[S, R any](key func(S) string, run RunFunc[S, R], opts Options) *Engine[
 	if opts.Label == "" {
 		opts.Label = "engine"
 	}
-	return &Engine[S, R]{key: key, run: run, opts: opts, memo: make(map[string]R)}
+	return &Engine[S, R]{key: key, run: run, opts: opts,
+		memo: make(map[string]R), flights: make(map[string]*flight[R])}
 }
 
 // Stats returns a snapshot of the cumulative accounting.
@@ -210,6 +230,15 @@ func (e *Engine[S, R]) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.stats
+}
+
+// Inflight is the number of jobs currently executing (single-flight
+// leaders). It is a point-in-time gauge for telemetry — the /metrics
+// endpoint of a serving daemon — not part of the cumulative Stats.
+func (e *Engine[S, R]) Inflight() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.flights)
 }
 
 // job groups all batch indices that share one fingerprint.
@@ -232,6 +261,15 @@ type job[S any] struct {
 // time it returns (only a job that ignores its context after the
 // watchdog fired can leave its computation behind).
 func (e *Engine[S, R]) Run(ctx context.Context, specs []S) ([]R, error) {
+	return e.RunCheckpointed(ctx, specs, e.opts.Checkpoint)
+}
+
+// RunCheckpointed is Run with a per-call checkpoint journal overriding
+// Options.Checkpoint (nil runs without one). A long-lived engine shared
+// by many independent sweeps — the suitd daemon — journals each sweep
+// into its own file this way, so one interrupted sweep resumes without
+// conflating its progress with its neighbours'.
+func (e *Engine[S, R]) RunCheckpointed(ctx context.Context, specs []S, cp *Checkpoint) ([]R, error) {
 	start := time.Now() //lint:allow determinism wall-clock only feeds Stats.Elapsed and the progress reporter, never results
 	results := make([]R, len(specs))
 
@@ -266,7 +304,7 @@ func (e *Engine[S, R]) Run(ctx context.Context, specs []S) ([]R, error) {
 	var pending []*job[S]
 	var memHits, diskHits, resumed int64
 	for _, j := range order {
-		if e.opts.Checkpoint.Done(j.key) {
+		if cp.Done(j.key) {
 			resumed++
 		}
 		e.mu.Lock()
@@ -274,7 +312,7 @@ func (e *Engine[S, R]) Run(ctx context.Context, specs []S) ([]R, error) {
 		e.mu.Unlock()
 		if ok {
 			fill(j, r)
-			e.recordDone(j.key)
+			cp.Record(j.key)
 			memHits++
 			continue
 		}
@@ -283,7 +321,7 @@ func (e *Engine[S, R]) Run(ctx context.Context, specs []S) ([]R, error) {
 			e.memo[j.key] = r
 			e.mu.Unlock()
 			fill(j, r)
-			e.recordDone(j.key)
+			cp.Record(j.key)
 			diskHits++
 			continue
 		}
@@ -308,7 +346,7 @@ func (e *Engine[S, R]) Run(ctx context.Context, specs []S) ([]R, error) {
 				if runCtx.Err() != nil {
 					continue // drain the queue without working
 				}
-				r, attempts, err := e.executeJob(runCtx, j)
+				r, attempts, shared, err := e.executeShared(runCtx, j)
 				if err != nil {
 					if runCtx.Err() != nil && errors.Is(err, context.Canceled) {
 						continue // sweep aborted, not a job failure
@@ -333,10 +371,17 @@ func (e *Engine[S, R]) Run(ctx context.Context, specs []S) ([]R, error) {
 				}
 				e.mu.Lock()
 				e.memo[j.key] = r
-				e.stats.Ran++
+				if !shared {
+					e.stats.Ran++
+				}
 				e.mu.Unlock()
-				e.diskPut(j.key, r)
-				e.recordDone(j.key)
+				if !shared {
+					// The leader already persisted a shared result.
+					e.diskPut(j.key, r)
+				}
+				// Journal into this call's checkpoint even when the
+				// execution was shared: the leader only journals its own.
+				cp.Record(j.key)
 				fill(j, r)
 				done.Add(1)
 			}
@@ -381,14 +426,52 @@ feed:
 	return results, nil
 }
 
-// recordDone journals a completed fingerprint (a no-op without a
-// checkpoint). Memo and disk hits are journaled too, so the journal is
-// complete even when a resumed run serves most jobs from cache.
-func (e *Engine[S, R]) recordDone(key string) {
-	if e.opts.Checkpoint == nil {
-		return
+// executeShared runs one job under single-flight dedup: the first Run
+// call to reach a fingerprint becomes its leader and executes it; any
+// concurrent Run call landing on the same key waits for the leader and
+// shares its result (shared=true, counted in Stats.Coalesced) instead
+// of executing a second time. A leader failure is not shared: the
+// follower loops around and executes under its own retry budget, so
+// one Run's bad luck (or cancelled context) cannot fail another's job.
+// A follower whose own context is cancelled stops waiting and returns
+// the context error.
+func (e *Engine[S, R]) executeShared(ctx context.Context, j *job[S]) (r R, attempts int, shared bool, err error) {
+	for {
+		e.mu.Lock()
+		// A concurrent Run may have finished the key after this batch's
+		// cache-resolution pass; the memo is the cheapest re-check.
+		if r, ok := e.memo[j.key]; ok {
+			e.stats.Coalesced++
+			e.mu.Unlock()
+			return r, 0, true, nil
+		}
+		if f, ok := e.flights[j.key]; ok {
+			e.mu.Unlock()
+			select {
+			case <-f.done:
+				if f.err == nil {
+					e.mu.Lock()
+					e.stats.Coalesced++
+					e.mu.Unlock()
+					return f.r, 0, true, nil
+				}
+				continue // leader failed: try to lead our own execution
+			case <-ctx.Done():
+				return r, 0, false, ctx.Err()
+			}
+		}
+		f := &flight[R]{done: make(chan struct{})}
+		e.flights[j.key] = f
+		e.mu.Unlock()
+
+		r, attempts, err = e.executeJob(ctx, j)
+		e.mu.Lock()
+		delete(e.flights, j.key)
+		e.mu.Unlock()
+		f.r, f.err = r, err
+		close(f.done)
+		return r, attempts, false, err
 	}
-	e.opts.Checkpoint.Record(key)
 }
 
 // countFailure attributes a failed or retried attempt's cause.

@@ -1,0 +1,179 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// maxSpecBytes bounds a submission body; a spec listing a full
+// explicit grid fits comfortably, anything larger is abuse.
+const maxSpecBytes = 1 << 20
+
+// jobView is the JSON shape of a job in API responses.
+type jobView struct {
+	ID    string  `json:"id"`
+	State State   `json:"state"`
+	Done  int     `json:"done"`
+	Total int     `json:"total"`
+	Error string  `json:"error,omitempty"`
+	Spec  Spec    `json:"spec"`
+	Href  string  `json:"href"`
+	Rslt  *Result `json:"result,omitempty"`
+}
+
+func viewOf(j *Job, withResult bool) jobView {
+	snap := j.Snapshot()
+	v := jobView{
+		ID: j.ID, State: snap.State, Done: snap.Done, Total: snap.Total,
+		Error: snap.Error, Spec: j.Spec, Href: "/v1/sweeps/" + j.ID,
+	}
+	if withResult {
+		v.Rslt = j.Result()
+	}
+	return v
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error      string `json:"error"`
+	RetryAfter int    `json:"retry_after_seconds,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // headers are out; an encode error here has no recourse
+}
+
+// Handler assembles the daemon's HTTP API:
+//
+//	POST /v1/sweeps                submit a spec; the job ID is its fingerprint digest
+//	GET  /v1/sweeps                list jobs in submission order
+//	GET  /v1/sweeps/{id}           status + result
+//	GET  /v1/sweeps/{id}/events    progress stream (SSE)
+//	GET  /metrics                  Prometheus text format
+//	GET  /healthz                  liveness + drain state
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad spec: " + err.Error()})
+		return
+	}
+	job, outcome, err := s.Submit(spec)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	switch outcome {
+	case SubmitQueued:
+		writeJSON(w, http.StatusCreated, viewOf(job, false))
+	case SubmitCoalesced, SubmitStored:
+		// Content-addressed hit: same spec, same job, no new execution.
+		writeJSON(w, http.StatusOK, viewOf(job, job.State() == StateDone))
+	case SubmitQueueFull:
+		retry := s.RetryAfterSeconds()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{
+			Error:      "admission queue full; retry later",
+			RetryAfter: retry,
+		})
+	case SubmitDraining:
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "daemon is draining; resubmit after restart"})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: fmt.Sprintf("unhandled submit outcome %d", outcome)})
+	}
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.JobsInOrder()
+	views := make([]jobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = viewOf(j, false)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []jobView `json:"jobs"`
+	}{views})
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job " + r.PathValue("id")})
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(job, true))
+}
+
+// handleEvents streams job progress as Server-Sent Events: one
+// `event: state` message per transition or progress tick, ending after
+// the terminal event (clients see the stream close as completion).
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job " + r.PathValue("id")})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "streaming unsupported by this connection"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	events, cancel := job.Subscribe()
+	defer cancel()
+	for {
+		select {
+		case ev, open := <-events:
+			if !open {
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.State, data); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.WriteMetrics(w)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.Draining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, struct {
+		Status string `json:"status"`
+	}{status})
+}

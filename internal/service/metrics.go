@@ -1,0 +1,69 @@
+package service
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteMetrics renders the service's telemetry in Prometheus text
+// exposition format (version 0.0.4): `# HELP` / `# TYPE` comment pairs
+// followed by one sample per line. Everything here is operator
+// telemetry — results never depend on any of it.
+func (s *Service) WriteMetrics(w io.Writer) error {
+	st := s.EngineStats()
+	queued, capacity := s.QueueDepth()
+
+	type sample struct {
+		name  string
+		help  string
+		typ   string // counter | gauge
+		value float64
+	}
+	samples := []sample{
+		{"suitd_submissions_total", "Spec submissions received.", "counter", float64(s.submissions.Load())},
+		{"suitd_cache_hits_total", "Submissions served without a new engine execution (registry dedup + persistent result store).", "counter", float64(s.dedupHits.Load() + s.storeHits.Load())},
+		{"suitd_singleflight_dedup_total", "Submissions coalesced onto an existing registry job.", "counter", float64(s.dedupHits.Load())},
+		{"suitd_result_store_hits_total", "Submissions served from the persistent result store.", "counter", float64(s.storeHits.Load())},
+		{"suitd_rejected_total", "Submissions rejected with backpressure (admission queue full).", "counter", float64(s.rejected.Load())},
+		{"suitd_jobs_executed_total", "Jobs whose execution ran to a terminal state in this daemon lifetime.", "counter", float64(s.jobsExecuted.Load())},
+		{"suitd_queue_depth", "Jobs waiting in the admission queue.", "gauge", float64(queued)},
+		{"suitd_queue_capacity", "Admission queue capacity.", "gauge", float64(capacity)},
+		{"suitd_engine_inflight", "Scenario executions currently running (single-flight leaders).", "gauge", float64(s.Inflight())},
+		{"suitd_engine_scenarios_total", "Scenario jobs submitted to the engine.", "counter", float64(st.Jobs)},
+		{"suitd_engine_unique_total", "Unique scenario fingerprints submitted.", "counter", float64(st.Unique)},
+		{"suitd_engine_ran_total", "Scenarios actually simulated.", "counter", float64(st.Ran)},
+		{"suitd_engine_mem_hits_total", "Unique scenarios served from the in-memory memo.", "counter", float64(st.MemHits)},
+		{"suitd_engine_disk_hits_total", "Unique scenarios served from the on-disk cache.", "counter", float64(st.DiskHits)},
+		{"suitd_engine_coalesced_total", "Scenarios served by another run's in-flight execution.", "counter", float64(st.Coalesced)},
+		{"suitd_engine_retried_total", "Scenario attempts retried.", "counter", float64(st.Retried)},
+		{"suitd_engine_failed_total", "Scenarios that exhausted their retries.", "counter", float64(st.Failed)},
+		{"suitd_engine_timeouts_total", "Scenario attempts killed by the watchdog.", "counter", float64(st.TimedOut)},
+		{"suitd_engine_panics_total", "Scenario attempts that panicked and were contained.", "counter", float64(st.Panicked)},
+		{"suitd_engine_quarantined_total", "Corrupt cache entries quarantined.", "counter", float64(st.Quarantined)},
+		{"suitd_engine_resumed_total", "Scenarios already journaled as complete when their run started.", "counter", float64(st.Resumed)},
+		{"suitd_engine_cache_hit_rate", "Fraction of unique scenarios served from a cache layer.", "gauge", st.HitRate()},
+		{"suitd_engine_run_seconds_total", "Wall-clock seconds spent inside engine runs.", "counter", st.Elapsed.Seconds()},
+		{"suitd_engine_throughput_scenarios_per_second", "Simulated scenarios per second of engine run time.", "gauge", st.Throughput()},
+	}
+	for _, m := range samples {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", m.name, m.help, m.name, m.typ, m.name, m.value); err != nil {
+			return err
+		}
+	}
+
+	// Per-state job gauges, iterated in lifecycle order (never over a
+	// map) so the page renders deterministically.
+	counts := make(map[State]int, len(States))
+	for _, j := range s.JobsInOrder() {
+		counts[j.State()]++
+	}
+	if _, err := fmt.Fprintf(w, "# HELP suitd_jobs Registry jobs by lifecycle state.\n# TYPE suitd_jobs gauge\n"); err != nil {
+		return err
+	}
+	for _, state := range States {
+		if _, err := fmt.Fprintf(w, "suitd_jobs{state=%q} %d\n", string(state), counts[state]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

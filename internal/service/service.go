@@ -1,0 +1,366 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"suit/internal/core"
+	"suit/internal/engine"
+)
+
+// Config sizes the service. The zero value of every field except
+// StateDir means "use the default".
+type Config struct {
+	// StateDir is the daemon's persistent root: the engine's scenario
+	// cache lives in cas/, completed results in results/, per-job
+	// checkpoint journals in journals/. Required.
+	StateDir string
+	// EngineWorkers bounds the engine's scenario worker pool
+	// (default GOMAXPROCS via the engine).
+	EngineWorkers int
+	// ExecJobs is how many submitted jobs execute concurrently; the
+	// engine pool is shared between them. Default 2.
+	ExecJobs int
+	// QueueDepth bounds the admission queue; a submission that finds
+	// it full is rejected with retry advice. Default 64.
+	QueueDepth int
+	// Retries is the per-scenario retry budget (default 1; retried
+	// attempts reuse the derived seed, so retries never change bytes).
+	Retries int
+	// JobTimeout arms the engine's per-scenario watchdog (0 disables).
+	JobTimeout time.Duration
+
+	// runJob overrides the engine's run function. Test-only: package
+	// tests wrap core.RunJob to gate execution deterministically; the
+	// wrapper must return the same outcomes or byte-identity breaks.
+	runJob engine.RunFunc[core.Scenario, core.Outcome]
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.StateDir == "" {
+		return c, errors.New("service: Config.StateDir is required")
+	}
+	if c.ExecJobs <= 0 {
+		c.ExecJobs = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Retries == 0 {
+		c.Retries = 1
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	return c, nil
+}
+
+// SubmitOutcome says how a submission was resolved.
+type SubmitOutcome int
+
+const (
+	// SubmitQueued admitted a new job to the queue.
+	SubmitQueued SubmitOutcome = iota
+	// SubmitCoalesced matched an existing registry job (in any state):
+	// the single-flight path — no new engine execution.
+	SubmitCoalesced
+	// SubmitStored served a completed result from the persistent store
+	// (computed in an earlier daemon lifetime).
+	SubmitStored
+	// SubmitQueueFull rejected the submission: the admission queue is
+	// at capacity. Retry after RetryAfterSeconds.
+	SubmitQueueFull
+	// SubmitDraining rejected the submission: the daemon is shutting
+	// down.
+	SubmitDraining
+)
+
+// Service is the sweep-as-a-service layer: a job registry keyed by
+// spec fingerprint, a bounded admission queue, a pool of job executors
+// sharing one engine, and a persistent content-addressed result store.
+type Service struct {
+	cfg   Config
+	eng   *engine.Engine[core.Scenario, core.Outcome]
+	store *resultStore
+
+	runCtx     context.Context
+	cancelRuns context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for deterministic listings
+	queue    chan *Job
+	draining bool
+
+	execWG sync.WaitGroup
+
+	// Counters for /metrics. jobSecondsMilli accumulates executed-job
+	// wall time (telemetry only — never part of a result).
+	submissions     atomic.Int64
+	dedupHits       atomic.Int64
+	storeHits       atomic.Int64
+	rejected        atomic.Int64
+	jobsExecuted    atomic.Int64
+	jobSecondsMilli atomic.Int64
+}
+
+// New builds a service and starts its executor pool. Call Drain to
+// stop it.
+func New(cfg Config) (*Service, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	for _, sub := range []string{"cas", "results", "journals"} {
+		if err := os.MkdirAll(filepath.Join(cfg.StateDir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+	}
+	store, err := newResultStore(filepath.Join(cfg.StateDir, "results"))
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	s := &Service{
+		cfg:   cfg,
+		store: store,
+		jobs:  make(map[string]*Job),
+		queue: make(chan *Job, cfg.QueueDepth),
+	}
+	s.runCtx, s.cancelRuns = context.WithCancel(context.Background())
+	runJob := cfg.runJob
+	if runJob == nil {
+		runJob = core.RunJob
+	}
+	s.eng = engine.New(core.Scenario.Fingerprint, runJob, engine.Options{
+		Workers:      cfg.EngineWorkers,
+		BaseSeed:     0, // specs carry explicit per-scenario seeds
+		CacheDir:     filepath.Join(cfg.StateDir, "cas"),
+		Retries:      cfg.Retries,
+		RetryBackoff: 100 * time.Millisecond,
+		Policy:       engine.FailFast,
+		JobTimeout:   cfg.JobTimeout,
+		Label:        "suitd",
+	})
+	for i := 0; i < cfg.ExecJobs; i++ {
+		s.execWG.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// EngineStats exposes the engine's cumulative accounting for /metrics.
+func (s *Service) EngineStats() engine.Stats { return s.eng.Stats() }
+
+// Inflight is the engine's currently-executing scenario count.
+func (s *Service) Inflight() int { return s.eng.Inflight() }
+
+// QueueDepth reports (queued jobs, capacity).
+func (s *Service) QueueDepth() (int, int) { return len(s.queue), s.cfg.QueueDepth }
+
+// Submit resolves a spec submission: normalize, content-address,
+// dedup against the registry and the persistent store, else admit to
+// the bounded queue. A non-nil error means the spec itself was invalid.
+func (s *Service) Submit(raw Spec) (*Job, SubmitOutcome, error) {
+	spec, err := raw.Normalize()
+	if err != nil {
+		return nil, 0, err
+	}
+	id := spec.ID()
+	s.submissions.Add(1)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, SubmitDraining, nil
+	}
+	if j, ok := s.jobs[id]; ok {
+		// The single-flight path: identical spec, one execution —
+		// whether the original is still queued, mid-run, or finished.
+		s.dedupHits.Add(1)
+		return j, SubmitCoalesced, nil
+	}
+	if res, ok := s.store.get(id, spec.Fingerprint()); ok {
+		j := newJob(id, spec, res.GridPoints*len(spec.Benches))
+		j.finish(StateDone, res, "")
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		s.storeHits.Add(1)
+		return j, SubmitStored, nil
+	}
+	total := len(spec.grid()) * len(spec.Benches)
+	j := newJob(id, spec, total)
+	select {
+	case s.queue <- j:
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		return j, SubmitQueued, nil
+	default:
+		s.rejected.Add(1)
+		return nil, SubmitQueueFull, nil
+	}
+}
+
+// Job looks a registry job up by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// JobsInOrder snapshots the registry in submission order.
+func (s *Service) JobsInOrder() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// RetryAfterSeconds advises a rejected client when to retry: the mean
+// executed-job duration (a queue slot frees roughly that often per
+// executor), defaulting to 5 s before any job has finished, clamped to
+// [1, 300].
+func (s *Service) RetryAfterSeconds() int {
+	n := s.jobsExecuted.Load()
+	secs := 5.0
+	if n > 0 {
+		secs = float64(s.jobSecondsMilli.Load()) / 1000 / float64(n)
+	}
+	return int(math.Min(300, math.Max(1, math.Ceil(secs))))
+}
+
+// Draining reports whether Drain has begun.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain shuts the service down gracefully: new submissions are
+// refused, queued-but-unstarted jobs are canceled (their submitters
+// resubmit after restart and hit the store or the journals), and
+// running jobs get until ctx's deadline to finish. When the deadline
+// expires the engine runs are cancelled — every completed scenario is
+// already journaled and cached, so a restarted daemon replays the
+// finished points from disk and the resumed result is byte-identical.
+// Always returns once the executors have stopped.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.execWG.Wait()
+		return nil
+	}
+	s.draining = true
+	close(s.queue) // executors drain the remainder; Submit is refused already
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.execWG.Wait()
+		close(done)
+	}()
+	var interrupted error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		interrupted = ctx.Err()
+		s.cancelRuns()
+		<-done
+	}
+	s.cancelRuns()
+	return interrupted
+}
+
+// worker executes queued jobs until the queue closes at drain time.
+func (s *Service) worker() {
+	defer s.execWG.Done()
+	for job := range s.queue {
+		if s.Draining() || s.runCtx.Err() != nil {
+			job.finish(StateCanceled, nil, "daemon drained before the job started; resubmit to resume")
+			continue
+		}
+		start := time.Now() //lint:allow determinism job wall time only feeds the Retry-After estimate and /metrics, never results
+		s.execute(job)
+		s.jobsExecuted.Add(1)
+		s.jobSecondsMilli.Add(time.Since(start).Milliseconds()) //lint:allow determinism telemetry-only duration accounting
+	}
+}
+
+// execute runs one job through the engine under its own checkpoint
+// journal and persists the aggregated result.
+func (s *Service) execute(job *Job) {
+	job.setRunning()
+	scs, grid, err := job.Spec.Scenarios()
+	if err != nil {
+		job.finish(StateFailed, nil, err.Error())
+		return
+	}
+	journal := filepath.Join(s.cfg.StateDir, "journals", job.ID+".journal")
+	// resume=true: a journal left by an interrupted daemon marks this
+	// job's finished points; the engine replays them from the cache.
+	// The config line is the job ID, so a journal can never be applied
+	// to a different spec.
+	cp, err := engine.OpenCheckpoint(journal, "suitd job "+job.ID, true)
+	if err != nil {
+		job.finish(StateFailed, nil, err.Error())
+		return
+	}
+	stopProgress := s.watchProgress(job, cp)
+	outs, err := s.eng.RunCheckpointed(s.runCtx, scs, cp)
+	stopProgress()
+	cp.Close()
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			job.finish(StateCanceled, nil,
+				"interrupted by drain: completed points are journaled; resubmit after restart to resume")
+			return
+		}
+		job.finish(StateFailed, nil, err.Error())
+		return
+	}
+	res, err := aggregate(job.ID, job.Spec, grid, outs)
+	if err != nil {
+		job.finish(StateFailed, nil, err.Error())
+		return
+	}
+	s.store.put(job.ID, job.Spec.Fingerprint(), res)
+	job.finish(StateDone, res, "")
+}
+
+// watchProgress publishes the job's completed-point count while the
+// engine runs, read from the checkpoint journal's in-memory set. The
+// returned stop func flushes a final count.
+func (s *Service) watchProgress(job *Job, cp *engine.Checkpoint) func() {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(200 * time.Millisecond) //lint:allow determinism the progress ticker paces event-stream telemetry; job results never depend on it
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				job.setProgress(cp.Completed())
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		wg.Wait()
+		job.setProgress(cp.Completed())
+	}
+}

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// resultStore persists completed Results as content-addressed JSON
+// files under <dir>/results/<id>.json, following the engine cache's
+// trust model: each entry stores the spec fingerprint it answers plus
+// an integrity digest over (fingerprint, result bytes), so a garbled or
+// foreign file reads as a miss — recomputation, never a wrong result.
+// Writes go through temp-file + rename so concurrent readers and a
+// killed daemon never observe torn entries.
+type resultStore struct {
+	dir string
+}
+
+// storeEntry is the on-disk record.
+type storeEntry struct {
+	Fingerprint string          `json:"fingerprint"`
+	Result      json.RawMessage `json:"result"`
+	Sum         string          `json:"sum"`
+}
+
+func storeSum(fingerprint string, result []byte) string {
+	h := sha256.New()
+	h.Write([]byte(fingerprint))
+	h.Write([]byte{0})
+	h.Write(result)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+func newResultStore(dir string) (*resultStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &resultStore{dir: dir}, nil
+}
+
+func (s *resultStore) path(id string) string {
+	return filepath.Join(s.dir, id+".json")
+}
+
+// get loads a stored result for (id, fingerprint). Any mismatch —
+// missing file, bad JSON, foreign fingerprint, failed digest — is a
+// plain miss.
+func (s *resultStore) get(id, fingerprint string) (*Result, bool) {
+	data, err := os.ReadFile(s.path(id))
+	if err != nil {
+		return nil, false
+	}
+	var ent storeEntry
+	if err := json.Unmarshal(data, &ent); err != nil {
+		return nil, false
+	}
+	if ent.Fingerprint != fingerprint || ent.Sum != storeSum(ent.Fingerprint, ent.Result) {
+		return nil, false
+	}
+	var r Result
+	if err := json.Unmarshal(ent.Result, &r); err != nil {
+		return nil, false
+	}
+	return &r, true
+}
+
+// put persists a result. Best-effort like the engine cache: a full
+// disk only disables reuse across restarts, it never fails the job.
+func (s *resultStore) put(id, fingerprint string, r *Result) {
+	raw, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	data, err := json.Marshal(storeEntry{Fingerprint: fingerprint, Result: raw, Sum: storeSum(fingerprint, raw)})
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), s.path(id)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

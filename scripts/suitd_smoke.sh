@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# suitd end-to-end smoke (the CI suitd-smoke job): boot the daemon,
+# serve a small sweep to completion, prove a second identical
+# submission is a cache hit via /metrics, then SIGTERM and require a
+# clean exit-0 drain inside the budget.
+#
+# Run from the repository root: scripts/suitd_smoke.sh
+set -euo pipefail
+
+WORK=$(mktemp -d)
+ADDR=127.0.0.1:8470
+BASE="http://$ADDR"
+PID=""
+cleanup() {
+  [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/suitd" ./cmd/suitd
+"$WORK/suitd" -addr "$ADDR" -state "$WORK/state" -drain-timeout 30s &
+PID=$!
+
+# Wait for the daemon to come up.
+up=""
+for _ in $(seq 1 100); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then up=1; break; fi
+  if ! kill -0 "$PID" 2>/dev/null; then echo "suitd died during startup" >&2; exit 1; fi
+  sleep 0.1
+done
+[ -n "$up" ] || { echo "suitd never answered /healthz" >&2; exit 1; }
+
+SPEC='{"instructions":50000,"benches":["VLC","557.xz"],"params":[{"p_dl_us":30,"p_ts_us":450,"p_ec":3,"p_df":14},{"p_dl_us":50,"p_ts_us":450,"p_ec":2,"p_df":9}]}'
+
+ID=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$SPEC" "$BASE/v1/sweeps" |
+  python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+echo "submitted job $ID"
+
+state=""
+for _ in $(seq 1 300); do
+  state=$(curl -fsS "$BASE/v1/sweeps/$ID" |
+    python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')
+  [ "$state" = done ] && break
+  case "$state" in
+    failed|canceled) echo "job ended $state" >&2; exit 1 ;;
+  esac
+  sleep 0.2
+done
+[ "$state" = done ] || { echo "job stuck in state '$state'" >&2; exit 1; }
+
+curl -fsS "$BASE/v1/sweeps/$ID" | python3 -c '
+import json, sys
+v = json.load(sys.stdin)
+pts = v["result"]["points"]
+assert v["state"] == "done" and pts, v
+effs = [p["efficiency"] for p in pts]
+assert effs == sorted(effs, reverse=True), "ranking not descending"
+print(f"ranked {len(pts)} points; best efficiency {effs[0]:.4f}")
+'
+
+# The second identical submission must be answered from the cache (200,
+# not 201) and /metrics must prove no second execution happened.
+CODE=$(curl -fsS -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' -d "$SPEC" "$BASE/v1/sweeps")
+[ "$CODE" = 200 ] || { echo "duplicate POST got HTTP $CODE, want 200" >&2; exit 1; }
+METRICS=$(curl -fsS "$BASE/metrics")
+HITS=$(echo "$METRICS" | awk '$1 == "suitd_cache_hits_total" {print $2}')
+EXECUTED=$(echo "$METRICS" | awk '$1 == "suitd_jobs_executed_total" {print $2}')
+[ "$HITS" = 1 ] || { echo "suitd_cache_hits_total = '$HITS', want 1" >&2; exit 1; }
+[ "$EXECUTED" = 1 ] || { echo "suitd_jobs_executed_total = '$EXECUTED', want 1" >&2; exit 1; }
+
+# Graceful shutdown: SIGTERM, then the daemon must exit 0. The drain is
+# internally bounded by -drain-timeout; a hang beyond that trips the CI
+# job's timeout-minutes.
+kill -TERM "$PID"
+RC=0
+wait "$PID" || RC=$?
+PID=""
+[ "$RC" = 0 ] || { echo "suitd exited $RC after SIGTERM, want 0" >&2; exit 1; }
+echo "suitd smoke OK: served 1 sweep, deduped the repeat (hits=$HITS), drained cleanly"
