@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -60,12 +61,17 @@ type sweepStat struct {
 }
 
 type report struct {
-	GoVersion   string      `json:"go_version"`
-	BenchCount  int         `json:"bench_count"`
-	Benchmarks  []benchStat `json:"benchmarks"`
-	Sweep       *sweepStat  `json:"sweep,omitempty"`
-	AllocFree   bool        `json:"steady_state_alloc_free"`
-	ElapsedSecs float64     `json:"harness_seconds"`
+	GoVersion  string      `json:"go_version"`
+	BenchCount int         `json:"bench_count"`
+	Benchmarks []benchStat `json:"benchmarks"`
+	// Sweep is the headline batched-execution throughput; SweepUnbatched
+	// repeats the grid with -batch=false (no shared trace artifacts, no
+	// co-stepped machines), so the report tracks both the amortized and
+	// the per-point cost PR over PR.
+	Sweep          *sweepStat `json:"sweep,omitempty"`
+	SweepUnbatched *sweepStat `json:"sweep_unbatched,omitempty"`
+	AllocFree      bool       `json:"steady_state_alloc_free"`
+	ElapsedSecs    float64    `json:"harness_seconds"`
 }
 
 func main() { os.Exit(run()) }
@@ -98,14 +104,22 @@ func run() int {
 	rep.Benchmarks = stats
 
 	if !*skipSweep {
-		sw, err := runSmokeSweep(uint64(instrF), *workers)
+		sw, err := runSmokeSweep(uint64(instrF), *workers, true)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "suitbench:", err)
 			return 1
 		}
 		rep.Sweep = sw
-		fmt.Printf("smoke sweep: %d points in %.2fs = %.1f points/s (instr=%s, j=%d)\n",
+		fmt.Printf("smoke sweep (batched):   %d points in %.2fs = %.1f points/s (instr=%s, j=%d)\n",
 			sw.Points, sw.Seconds, sw.PointsPerSec, *instrStr, *workers)
+		swu, err := runSmokeSweep(uint64(instrF), *workers, false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "suitbench:", err)
+			return 1
+		}
+		rep.SweepUnbatched = swu
+		fmt.Printf("smoke sweep (unbatched): %d points in %.2fs = %.1f points/s (instr=%s, j=%d)\n",
+			swu.Points, swu.Seconds, swu.PointsPerSec, *instrStr, *workers)
 	}
 
 	code := 0
@@ -149,8 +163,45 @@ func run() int {
 // run must hold: below 85% (a >15% regression) the gate fails.
 const regressionFloor = 0.85
 
-// compareBaseline gates the current report's smoke-sweep throughput
-// against a committed baseline report.
+// checkThroughput rejects a sweep stat whose points/s cannot gate
+// anything: missing, zero, negative, NaN or Inf. A corrupt baseline
+// used to slip through as floor = 0.85 × 0, making the gate vacuous —
+// it must fail loudly instead.
+func checkThroughput(what, path string, s *sweepStat) error {
+	if s == nil {
+		return fmt.Errorf("%s in %s has no sweep measurement", what, path)
+	}
+	pps := s.PointsPerSec
+	if math.IsInf(pps, 0) || !(pps > 0) { // !(x > 0) also catches NaN
+		return fmt.Errorf("%s in %s has unusable sweep throughput %v points/s; refusing a vacuous gate", what, path, pps)
+	}
+	return nil
+}
+
+// gateLeg gates one measured sweep leg against its baseline stat.
+func gateLeg(leg, path string, cur, base *sweepStat) error {
+	if err := checkThroughput("baseline ("+leg+")", path, base); err != nil {
+		return err
+	}
+	if err := checkThroughput("this run ("+leg+")", "current report", cur); err != nil {
+		return err
+	}
+	floor := base.PointsPerSec * regressionFloor
+	fmt.Printf("compare (%s): %.1f points/s vs baseline %.1f from %s (floor %.1f = -15%%)\n",
+		leg, cur.PointsPerSec, base.PointsPerSec, path, floor)
+	if cur.PointsPerSec < floor {
+		return fmt.Errorf("%s sweep throughput regressed >15%%: %.1f points/s < floor %.1f (baseline %.1f in %s)",
+			leg, cur.PointsPerSec, floor, base.PointsPerSec, path)
+	}
+	return nil
+}
+
+// compareBaseline gates the current report's smoke-sweep throughput —
+// both the batched and the unbatched leg — against a committed baseline
+// report. Baselines older than the batched-execution split carry a
+// single sweep stat; both legs gate against it then (the pre-split
+// sweep was unbatched, so that floor is conservative for the batched
+// leg and exact for the unbatched one).
 func compareBaseline(path string, rep *report) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -160,20 +211,17 @@ func compareBaseline(path string, rep *report) error {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("parsing baseline %s: %w", path, err)
 	}
-	if base.Sweep == nil || base.Sweep.PointsPerSec <= 0 {
-		return fmt.Errorf("baseline %s has no sweep measurement to compare against", path)
-	}
-	if rep.Sweep == nil {
+	if rep.Sweep == nil && rep.SweepUnbatched == nil {
 		return fmt.Errorf("this run skipped the smoke sweep (-skip-sweep); cannot compare against %s", path)
 	}
-	floor := base.Sweep.PointsPerSec * regressionFloor
-	fmt.Printf("compare: %.1f points/s vs baseline %.1f from %s (floor %.1f = -15%%)\n",
-		rep.Sweep.PointsPerSec, base.Sweep.PointsPerSec, path, floor)
-	if rep.Sweep.PointsPerSec < floor {
-		return fmt.Errorf("sweep throughput regressed >15%%: %.1f points/s < floor %.1f (baseline %.1f in %s)",
-			rep.Sweep.PointsPerSec, floor, base.Sweep.PointsPerSec, path)
+	if err := gateLeg("batched", path, rep.Sweep, base.Sweep); err != nil {
+		return err
 	}
-	return nil
+	baseUnbatched := base.SweepUnbatched
+	if baseUnbatched == nil {
+		baseUnbatched = base.Sweep
+	}
+	return gateLeg("unbatched", path, rep.SweepUnbatched, baseUnbatched)
 }
 
 // runBenchmarks shells out to go test and aggregates the repetitions.
@@ -256,8 +304,10 @@ func trimCPUSuffix(name string) string {
 // runSmokeSweep builds cmd/suitsweep and times a cold full-grid run at
 // a smoke instruction count. 240 parameter points × 5 workloads = 1200
 // scenario points; the binary prints its ranking to stdout, which the
-// harness discards — only wall time matters here.
-func runSmokeSweep(instr uint64, workers int) (*sweepStat, error) {
+// harness discards — only wall time matters here. batch selects the
+// suitsweep execution mode (shared trace artifacts + co-stepped
+// machines vs fully independent points; output bytes are identical).
+func runSmokeSweep(instr uint64, workers int, batch bool) (*sweepStat, error) {
 	dir, err := os.MkdirTemp("", "suitbench")
 	if err != nil {
 		return nil, err
@@ -272,6 +322,7 @@ func runSmokeSweep(instr uint64, workers int) (*sweepStat, error) {
 
 	sweep := exec.Command(bin, "-chip", "C",
 		"-instr", strconv.FormatUint(instr, 10),
+		"-batch="+strconv.FormatBool(batch),
 		"-j", strconv.Itoa(workers))
 	sweep.Stdout = nil // ranking discarded; determinism is tested elsewhere
 	sweep.Stderr = os.Stderr

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	s, ok := parseBenchLine("BenchmarkMachineHotPath/dense-trap-8 \t 1 \t 2049713 ns/op \t 128 B/op \t 2 allocs/op")
@@ -44,5 +50,115 @@ func TestTrimCPUSuffix(t *testing.T) {
 		if got := trimCPUSuffix(in); got != want {
 			t.Errorf("trimCPUSuffix(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+// writeBaseline drops a baseline report JSON into a temp dir and
+// returns its path.
+func writeBaseline(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_BASE.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func goodReport() *report {
+	return &report{
+		Sweep:          &sweepStat{Points: 1200, PointsPerSec: 450},
+		SweepUnbatched: &sweepStat{Points: 1200, PointsPerSec: 300},
+	}
+}
+
+// A corrupt baseline — zero, negative, NaN, Inf or absent points/s —
+// must be a hard error, not a vacuous floor of 0.85 × 0 that every run
+// sails over.
+func TestCompareBaselineRejectsCorruptBaseline(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"zero", `{"sweep":{"points":1200,"points_per_sec":0}}`},
+		{"negative", `{"sweep":{"points":1200,"points_per_sec":-12.5}}`},
+		{"missing sweep", `{"bench_count":3}`},
+		{"null sweep", `{"sweep":null}`},
+		{"zero unbatched", `{"sweep":{"points_per_sec":400},"sweep_unbatched":{"points_per_sec":0}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeBaseline(t, tc.body)
+			err := compareBaseline(path, goodReport())
+			if err == nil {
+				t.Fatalf("corrupt baseline %s accepted; gate is vacuous", tc.name)
+			}
+			if !strings.Contains(err.Error(), "sweep") {
+				t.Errorf("error should name the sweep measurement, got: %v", err)
+			}
+		})
+	}
+}
+
+// The current run's own stats must be usable too: a NaN or Inf
+// points/s on our side would also make the comparison meaningless.
+func TestCompareBaselineRejectsUnusableCurrentRun(t *testing.T) {
+	path := writeBaseline(t,
+		`{"sweep":{"points_per_sec":400},"sweep_unbatched":{"points_per_sec":250}}`)
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		rep := goodReport()
+		rep.Sweep.PointsPerSec = bad
+		if err := compareBaseline(path, rep); err == nil {
+			t.Errorf("current batched throughput %v accepted", bad)
+		}
+		rep = goodReport()
+		rep.SweepUnbatched.PointsPerSec = bad
+		if err := compareBaseline(path, rep); err == nil {
+			t.Errorf("current unbatched throughput %v accepted", bad)
+		}
+	}
+}
+
+func TestCompareBaselineGatesBothLegs(t *testing.T) {
+	path := writeBaseline(t,
+		`{"sweep":{"points_per_sec":400},"sweep_unbatched":{"points_per_sec":250}}`)
+
+	if err := compareBaseline(path, goodReport()); err != nil {
+		t.Fatalf("healthy report failed the gate: %v", err)
+	}
+
+	rep := goodReport()
+	rep.Sweep.PointsPerSec = 400 * regressionFloor * 0.99
+	if err := compareBaseline(path, rep); err == nil {
+		t.Error("batched regression below the floor passed the gate")
+	}
+
+	rep = goodReport()
+	rep.SweepUnbatched.PointsPerSec = 250 * regressionFloor * 0.99
+	if err := compareBaseline(path, rep); err == nil {
+		t.Error("unbatched regression below the floor passed the gate")
+	}
+}
+
+// Baselines committed before the batched/unbatched split carry a
+// single sweep stat; both legs of a newer run gate against it.
+func TestCompareBaselineLegacySingleSweep(t *testing.T) {
+	path := writeBaseline(t, `{"sweep":{"points":1200,"points_per_sec":290}}`)
+
+	if err := compareBaseline(path, goodReport()); err != nil {
+		t.Fatalf("legacy baseline should gate both legs against its one stat: %v", err)
+	}
+
+	rep := goodReport()
+	rep.SweepUnbatched.PointsPerSec = 290 * regressionFloor * 0.99
+	if err := compareBaseline(path, rep); err == nil {
+		t.Error("unbatched leg ignored the legacy baseline floor")
+	}
+}
+
+func TestCompareBaselineSkippedSweep(t *testing.T) {
+	path := writeBaseline(t, `{"sweep":{"points_per_sec":400}}`)
+	rep := &report{}
+	if err := compareBaseline(path, rep); err == nil {
+		t.Error("report without any sweep measurement accepted")
 	}
 }

@@ -61,7 +61,7 @@ func run() int {
 		workers      = flag.Int("j", runtime.GOMAXPROCS(0), "engine scenario workers")
 		execJobs     = flag.Int("exec", 2, "jobs executed concurrently (they share the engine pool)")
 		queueDepth   = flag.Int("queue", 64, "admission queue capacity; submissions beyond it get 429 + Retry-After")
-		retries      = flag.Int("retries", 1, "per-scenario retry budget (same derived seed every attempt)")
+		retries      = flag.Int("retries", 1, "per-scenario retry budget; 0 disables retries, as suitsweep defaults to (same derived seed every attempt)")
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-scenario watchdog timeout (0 disables)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long running sweeps may finish after SIGTERM before their runs are cancelled")
 	)

@@ -10,8 +10,15 @@
 // parallelism level. Progress and throughput go to stderr; the table
 // itself goes to stdout.
 //
+// Execution mode: by default points share content-addressed trace
+// artifacts and co-step their run/base machines over one event stream
+// (-batch=true); -batch=false forces fully independent points. Both
+// modes print byte-identical output — batching only changes how the
+// same arithmetic is scheduled.
+//
 // Resilience flags: -retries re-runs transiently failing points with
-// the same derived seed, -job-timeout arms a per-job watchdog,
+// the same derived seed (default 0: no retries; contrast suitd, whose
+// -retries defaults to 1), -job-timeout arms a per-job watchdog,
 // -on-error=continue finishes the sweep past failures (failed points
 // are dropped from the ranking and their fingerprints listed on
 // stderr), and -resume continues an interrupted sweep from the
@@ -132,6 +139,7 @@ func run() int {
 		seed       = flag.Uint64("seed", 1, "base seed for deterministic per-point seed derivation")
 		top        = flag.Int("top", 10, "how many settings to print (>= 1)")
 		workers    = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
+		batch      = flag.Bool("batch", true, "share trace artifacts across points and co-step run/base machines; -batch=false forces fully independent points (identical output, slower)")
 		cacheDir   = flag.String("cache", "", "directory for the on-disk result cache (reused across runs)")
 		retries    = flag.Int("retries", 0, "per-job retry budget for transient failures (same derived seed on every attempt)")
 		onError    = flag.String("on-error", "fail", "failure policy: 'fail' stops at the first failed job, 'continue' finishes the sweep and reports failures")
@@ -193,6 +201,7 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	core.SetRunContext(ctx)
+	core.SetBatchedExecution(*batch)
 
 	var cp *engine.Checkpoint
 	if *cacheDir != "" {

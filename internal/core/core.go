@@ -162,6 +162,21 @@ func buildStrategy(kind StrategyKind, p strategy.Params) (cpu.Strategy, error) {
 	}
 }
 
+// tracesShared reports whether the two machines were handed the very
+// same trace artifacts (pointer identity), the precondition for
+// batching them over a shared event stream.
+func tracesShared(a, b []*trace.Trace) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Run evaluates one scenario: the SUIT configuration and the pre-SUIT
 // baseline run the same workload; the outcome reports the relative
 // changes.
@@ -217,14 +232,17 @@ func Run(s Scenario) (Outcome, error) {
 		// faultable instructions at all.
 		bench.IPC *= 1 + bench.NoSIMD[fam]
 	}
+	// Trace generation goes through the shared artifact store
+	// (traceartifact.go): the baseline below requests byte-identical
+	// traces and receives the same immutable artifacts instead of a
+	// regeneration, and concurrent sweep points sharing a (workload,
+	// seed) pair coalesce on one build.
+	shared := batchingEnabled()
 	traces := make([]*trace.Trace, s.Cores, s.Cores+len(s.CoBenches))
 	for i := range traces {
-		tr, err := bench.GenerateTrace(total, s.Seed+uint64(i)*7919+1)
+		tr, err := sharedTrace(bench, total, s.Seed+uint64(i)*7919+1, s.Kind == KindNoSIMD)
 		if err != nil {
 			return Outcome{}, err
-		}
-		if s.Kind == KindNoSIMD {
-			tr = tr.WithoutSIMD()
 		}
 		traces[i] = tr
 	}
@@ -245,7 +263,7 @@ func Run(s Scenario) (Outcome, error) {
 		if coTotal == 0 {
 			coTotal = total
 		}
-		tr, err := cb.GenerateTrace(coTotal, s.Seed+uint64(s.Cores+j)*7919+1)
+		tr, err := sharedTrace(cb, coTotal, s.Seed+uint64(s.Cores+j)*7919+1, false)
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -270,6 +288,9 @@ func Run(s Scenario) (Outcome, error) {
 		Seed:           s.Seed,
 		RecordTimeline: s.RecordTimeline,
 		SampleEvery:    s.SampleEvery,
+		// Artifact traces were validated once at generation; re-walking
+		// them per machine would cost more than a sweep point's stepping.
+		TrustedTraces: shared,
 	}
 	if s.Kind == KindUnsafe {
 		// A pre-SUIT part: stock IMUL, no hardening overhead.
@@ -278,10 +299,13 @@ func Run(s Scenario) (Outcome, error) {
 	}
 
 	// Baseline: the same workloads (stock compilation, stock IMUL) pinned
-	// to the vendor curve at the TDP-sustainable state.
+	// to the vendor curve at the TDP-sustainable state. For every kind
+	// except noSIMD/emulation these requests hit the artifacts the run
+	// traces were built from, so base and run machines step the very same
+	// event arrays.
 	baseTraces := make([]*trace.Trace, s.Cores, len(traces))
 	for i := range baseTraces {
-		tr, err := s.Bench.GenerateTrace(total, s.Seed+uint64(i)*7919+1)
+		tr, err := sharedTrace(s.Bench, total, s.Seed+uint64(i)*7919+1, false)
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -292,7 +316,7 @@ func Run(s Scenario) (Outcome, error) {
 		if coTotal == 0 {
 			coTotal = total
 		}
-		tr, err := cb.GenerateTrace(coTotal, s.Seed+uint64(s.Cores+j)*7919+1)
+		tr, err := sharedTrace(cb, coTotal, s.Seed+uint64(s.Cores+j)*7919+1, false)
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -308,18 +332,32 @@ func Run(s Scenario) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
-	base, err := baseMachine.Run()
-	if err != nil {
-		return Outcome{}, err
-	}
-
 	runMachine, err := cpu.New(runCfg, strat)
 	if err != nil {
 		return Outcome{}, err
 	}
-	run, err := runMachine.Run()
-	if err != nil {
-		return Outcome{}, err
+
+	var base, run cpu.Result
+	if shared && tracesShared(baseTraces, traces) {
+		// Batched stepping: co-step the baseline and run machines over
+		// the shared event stream (see cpu.Batch). Each machine's event
+		// sequence — and so each Result — is bit-identical to a solo Run.
+		batch, err := cpu.NewBatch([]*cpu.Machine{baseMachine, runMachine})
+		if err != nil {
+			return Outcome{}, err
+		}
+		rs, err := batch.Run()
+		if err != nil {
+			return Outcome{}, err
+		}
+		base, run = rs[0], rs[1]
+	} else {
+		if base, err = baseMachine.Run(); err != nil {
+			return Outcome{}, err
+		}
+		if run, err = runMachine.Run(); err != nil {
+			return Outcome{}, err
+		}
 	}
 
 	if base.Duration <= 0 || run.Duration <= 0 {

@@ -130,6 +130,13 @@ type Config struct {
 	// internal/sched).
 	DomainOf []int
 
+	// TrustedTraces skips per-trace validation in Validate. Set it only
+	// for traces that were already validated once — e.g. shared immutable
+	// artifacts from internal/core's trace cache, where re-walking a
+	// 50k-event stream per sweep point costs more than the point's own
+	// stepping.
+	TrustedTraces bool
+
 	// ExecuteEmulation runs the actual software replacement from
 	// internal/emul for every emulated trap (on deterministic synthetic
 	// operands) instead of only charging its cost — proving each trapped
@@ -164,6 +171,9 @@ func (c Config) Validate() error {
 	for i, tr := range c.Traces {
 		if tr == nil {
 			return fmt.Errorf("cpu: trace %d is nil", i)
+		}
+		if c.TrustedTraces {
+			continue
 		}
 		if err := tr.Validate(); err != nil {
 			return fmt.Errorf("cpu: trace %d: %w", i, err)
@@ -432,12 +442,22 @@ type Machine struct {
 	// coreDomain maps core → domain when Config.DomainOf is set.
 	coreDomain []int
 
+	// Run-loop state, held on the machine so a Batch can interleave
+	// runStep calls across members (see batch.go).
+	runDone   bool
+	stepCount int
+	// ffEligible marks a single-core single-domain topology, the shape
+	// fastForward's inline arrival processing is specialised for.
+	ffEligible bool
+
 	// Test hooks: linearScan selects the reference nextEventLinear scan
 	// instead of the heap; audit cross-checks the heap after every event;
-	// evLog records the dispatched (t, kind, who) sequence.
-	linearScan bool
-	audit      bool
-	evLog      *[]eventRecord
+	// evLog records the dispatched (t, kind, who) sequence;
+	// noFastForward forces every arrival through the event queue.
+	linearScan    bool
+	audit         bool
+	evLog         *[]eventRecord
+	noFastForward bool
 
 	res Result
 }
@@ -560,6 +580,7 @@ func New(cfg Config, strategy Strategy) (*Machine, error) {
 	// per event; hoisting the sum preserves the bit pattern.
 	pm := cfg.Chip.Power
 	m.uncoreW = float64(pm.Uncore) + float64(pm.UncorePerCore)*float64(len(m.cores))
+	m.ffEligible = len(m.cores) == 1 && len(m.domains) == 1
 	m.eq.init(len(m.cores) + 4*len(m.domains))
 	return m, nil
 }
@@ -632,9 +653,9 @@ func newDomain(id int, cores []*core, start Point) *domain {
 		freq:     start.F,
 		volt:     start.V,
 		voltGoal: start.V,
-		// The exception ring is preallocated at its fixed capacity so
-		// dense-trap runs never grow it (recordException stays in place).
-		exceptions: make([]units.Second, 0, excRingCap),
+		// The exception ring (64 KiB per domain at excRingCap) is
+		// allocated lazily on the first #DO in recordException: trap-free
+		// runs — every non-SUIT baseline machine — never pay for it.
 	}
 	d.msrs.Poke(msr.IA32PerfStatus, msr.EncodePerfStatus(uint8(start.F.GHz()*10), float64(start.V)))
 	return d

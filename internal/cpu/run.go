@@ -25,7 +25,21 @@ type eventRecord struct {
 
 // Run executes all traces to completion and returns the result.
 func (m *Machine) Run() (Result, error) {
-	// OS boot: the strategy configures the machine at time zero.
+	m.runInit()
+	for !m.runDone {
+		if err := m.runStep(); err != nil {
+			return Result{}, err
+		}
+	}
+	return m.finishRun(), nil
+}
+
+// runInit performs the OS boot: the strategy configures the machine at
+// time zero and the event scheduler is seeded. Split out of Run so a
+// Batch can boot every member before interleaving their steps.
+func (m *Machine) runInit() {
+	m.runDone = false
+	m.stepCount = 0
 	m.handlerTime = 0
 	m.strategy.Init(controller{m})
 	// Transitions requested during Init complete instantaneously: the
@@ -52,75 +66,89 @@ func (m *Machine) Run() (Result, error) {
 	m.schedLive = 0
 	m.handlerTime = 0
 	m.syncAll()
+}
 
-	for step := 0; ; step++ {
-		if step >= maxSteps {
-			return Result{}, errors.New("cpu: event-loop step limit exceeded")
-		}
-		var (
-			t    units.Second
-			kind evKind
-			who  int
-		)
-		if m.linearScan {
-			t, kind, who = m.nextEventLinear()
-		} else {
-			t, kind, who = m.popEvent()
-		}
-		if kind == evNone {
-			break
-		}
-		if t < m.now {
-			return Result{}, fmt.Errorf("cpu: time went backwards: %v < %v", t, m.now)
-		}
-		if m.evLog != nil {
-			*m.evLog = append(*m.evLog, eventRecord{t: t, kind: kind, who: who})
-		}
-		m.advanceTo(t)
-		switch kind {
-		case evSched:
-			a := m.scheduled[who]
-			m.consumeSched(who)
-			m.applySched(&a)
-		case evFreqApply:
-			m.applyFreq(m.domains[who])
-		case evTransitionEnd:
-			d := m.domains[who]
-			d.mode = d.pending.target
-			d.pending = nil
-			m.syncTransition(d)
-		case evDeadline:
-			m.fireDeadline(who)
-		case evStallStart:
-			// No state change: the boundary only segments power/timing.
-			d := m.domains[who]
-			d.pending.stallFrom = -1 // consumed as an event
-			m.syncDomainCores(d)     // the stall window is now active
-		case evCoreArrive:
-			m.coreArrive(m.cores[who])
-		case evCoreUnblock:
-			c := m.cores[who]
-			c.blockedUntil = 0
-			// The pending (retrying) instruction is handled on the next
-			// iteration via evCoreArrive at the same timestamp.
-			m.syncCore(c)
-		case evNone:
-			panic("cpu: evNone dispatched; the scheduler filters it above")
-		}
-		if m.audit {
-			if err := m.auditQueue(); err != nil {
-				return Result{}, err
-			}
-		}
-		// The measurement interval ends when the last core commits its
-		// stream; residual transitions or timer events past that point
-		// would otherwise inflate energy and residency totals.
-		if m.allDone() {
-			break
+// runStep dispatches the next event; when the machine is eligible it
+// first fast-forwards through a streak of uncontended core arrivals
+// without touching the event queue. Sets m.runDone when the run is over.
+func (m *Machine) runStep() error {
+	if m.ffEligible && !m.linearScan && !m.noFastForward && m.schedLive == 0 {
+		m.fastForward()
+		if m.runDone {
+			return nil
 		}
 	}
+	if m.stepCount >= maxSteps {
+		return errors.New("cpu: event-loop step limit exceeded")
+	}
+	m.stepCount++
+	var (
+		t    units.Second
+		kind evKind
+		who  int
+	)
+	if m.linearScan {
+		t, kind, who = m.nextEventLinear()
+	} else {
+		t, kind, who = m.popEvent()
+	}
+	if kind == evNone {
+		m.runDone = true
+		return nil
+	}
+	if t < m.now {
+		return fmt.Errorf("cpu: time went backwards: %v < %v", t, m.now)
+	}
+	if m.evLog != nil {
+		*m.evLog = append(*m.evLog, eventRecord{t: t, kind: kind, who: who})
+	}
+	m.advanceTo(t)
+	switch kind {
+	case evSched:
+		a := m.scheduled[who]
+		m.consumeSched(who)
+		m.applySched(&a)
+	case evFreqApply:
+		m.applyFreq(m.domains[who])
+	case evTransitionEnd:
+		d := m.domains[who]
+		d.mode = d.pending.target
+		d.pending = nil
+		m.syncTransition(d)
+	case evDeadline:
+		m.fireDeadline(who)
+	case evStallStart:
+		// No state change: the boundary only segments power/timing.
+		d := m.domains[who]
+		d.pending.stallFrom = -1 // consumed as an event
+		m.syncDomainCores(d)     // the stall window is now active
+	case evCoreArrive:
+		m.coreArrive(m.cores[who])
+	case evCoreUnblock:
+		c := m.cores[who]
+		c.blockedUntil = 0
+		// The pending (retrying) instruction is handled on the next
+		// iteration via evCoreArrive at the same timestamp.
+		m.syncCore(c)
+	case evNone:
+		panic("cpu: evNone dispatched; the scheduler filters it above")
+	}
+	if m.audit {
+		if err := m.auditQueue(); err != nil {
+			return err
+		}
+	}
+	// The measurement interval ends when the last core commits its
+	// stream; residual transitions or timer events past that point
+	// would otherwise inflate energy and residency totals.
+	if m.allDone() {
+		m.runDone = true
+	}
+	return nil
+}
 
-	// Finalise.
+// finishRun finalises the result once runDone is set.
+func (m *Machine) finishRun() Result {
 	var maxDone units.Second
 	for _, c := range m.cores {
 		m.res.PerCore[c.id] = c.done
@@ -135,7 +163,123 @@ func (m *Machine) Run() (Result, error) {
 		m.res.AvgPower = units.Power(m.res.Energy, maxDone)
 	}
 	m.res.RAPLCounter = m.rapl.Counter()
-	return m.res, nil
+	return m.res
+}
+
+// fastForward processes consecutive core arrivals of a single-core,
+// single-domain machine inline, without any event-queue traffic. It is
+// the analytic closed form of the inter-exception interval: between two
+// queue-worthy events (a trap, a transition boundary, a deadline, an
+// unblock) every arrival is a pure function of (m.now, c.pos, d.freq),
+// so the next-event computation, the dispatch switch and the heap
+// pop/sync round-trips collapse into one loop. Each iteration computes
+// the arrival time with the exact expressions evalCore uses and charges
+// it through the same advanceTo, so timestamps, energy and the evLog
+// sequence stay bit-identical to the queue path (the differential
+// heap-vs-linear oracle runs with fast-forward enabled on the heap
+// side).
+//
+// A streak ends as soon as the arrival stops being uncontended: the
+// break conditions mirror evalDomainSub/evalCore term for term, and at
+// equal timestamps a due domain event outranks a core arrival exactly
+// as the (time, rank) heap order does. The event queue is only
+// re-synced at streak exit; in between, cached heap times can only be
+// stale-early (time moves forward), which popEvent's lazy re-evaluation
+// already handles.
+func (m *Machine) fastForward() {
+	c := m.cores[0]
+	d := m.domains[0]
+	n := 0
+	for m.stepCount < maxSteps {
+		if c.finished || c.blockedUntil > m.now || d.stalledAt(m.now) {
+			break
+		}
+		// Next arrival, exactly as evalCore computes it.
+		nextIdx := c.tr.Total
+		end := true
+		var op isa.Opcode
+		if c.idx < len(c.tr.Events) {
+			nextIdx = c.tr.Events[c.idx].Index
+			op = c.tr.Events[c.idx].Op
+			end = false
+		}
+		t := m.now
+		if remaining := float64(nextIdx) - c.pos; remaining > 0 {
+			rate := c.tr.IPC * float64(d.freq) / c.rate // instructions/second
+			t = m.now + units.Second(remaining/rate)
+		}
+		// A domain event due at or before the arrival wins the tie-break
+		// (domain rank < core rank): hand control back to the queue. The
+		// conditions mirror evalDomainSub per sub-slot.
+		if p := d.pending; p != nil {
+			if p.freqApply > 0 && p.freqTarget != 0 {
+				if p.stallFrom >= 0 && p.stallFrom > m.now && p.stallFrom <= t {
+					break
+				}
+				if p.freqApply <= t {
+					break
+				}
+			} else if p.end <= t {
+				break
+			}
+		}
+		if d.deadlineAt > 0 && d.deadlineAt <= t {
+			break
+		}
+		trapped := false
+		if !end {
+			trapped = op.IsFaultable() || (m.cfg.TrapIMUL && op == isa.OpIMUL)
+			if d.disabled && trapped {
+				// A #DO trap runs the strategy handler: back to the full
+				// dispatch loop (the core slot's cached time is at most
+				// the true arrival, so the queue re-delivers it).
+				break
+			}
+		}
+		m.stepCount++
+		n++
+		if m.evLog != nil {
+			*m.evLog = append(*m.evLog, eventRecord{t: t, kind: evCoreArrive, who: 0})
+		}
+		m.advanceTo(t)
+		if end {
+			c.pos = float64(c.tr.Total)
+			c.finished = true
+			c.done = m.now
+			break
+		}
+		c.pos = float64(nextIdx)
+		// Execute: safety monitor and hardware deadline reset, exactly as
+		// coreArrive's execute path (minus the per-event queue sync).
+		off := m.safeOffset(d, m.now)
+		if -off > m.physMargin[op] {
+			m.res.Faults = append(m.res.Faults, FaultRecord{
+				T: m.now, Core: c.id, Op: op, V: d.voltAt(m.now),
+				Margin: -off - m.cfg.Faults.PhysicalMargin(op, m.cfg.HardenedIMUL),
+			})
+		}
+		if d.deadlineAt > 0 && trapped && !m.cfg.NoDeadlineReset {
+			d.deadlineAt = m.now + d.deadlineDur
+		}
+		c.retry = false
+		c.pos = float64(nextIdx) + 1
+		c.idx++
+		if c.idx >= len(c.tr.Events) && c.pos >= float64(c.tr.Total) {
+			c.finished = true
+			c.done = m.now
+			break
+		}
+	}
+	if n > 0 {
+		// Re-sync the slots the streak mutated. Deadline pushes during the
+		// streak only move the due time later, so the deferred sync is
+		// safe: a stale-early cached time is re-keyed at pop.
+		m.syncCore(c)
+		m.syncDeadline(d)
+		if m.allDone() {
+			m.runDone = true
+		}
+	}
 }
 
 // allDone reports whether every core has committed its whole stream.
@@ -269,6 +413,12 @@ const (
 // oldest entry is overwritten in place — the allocation-free equivalent
 // of the old append-then-copy-truncate pattern.
 func (d *domain) recordException(t units.Second) {
+	if d.exceptions == nil {
+		// Lazy one-time allocation at full ring capacity: only trapping
+		// domains pay for the ring, and the first Run reaches steady
+		// state (Reset keeps the backing array, so replay is alloc-free).
+		d.exceptions = make([]units.Second, 0, excRingCap)
+	}
 	if len(d.exceptions) < excRingCap {
 		d.exceptions = append(d.exceptions, t)
 	} else {

@@ -16,7 +16,8 @@ import (
 )
 
 // Config sizes the service. The zero value of every field except
-// StateDir means "use the default".
+// StateDir and Retries means "use the default"; Retries distinguishes
+// explicit zero from unset (see its comment).
 type Config struct {
 	// StateDir is the daemon's persistent root: the engine's scenario
 	// cache lives in cas/, completed results in results/, per-job
@@ -31,8 +32,11 @@ type Config struct {
 	// QueueDepth bounds the admission queue; a submission that finds
 	// it full is rejected with retry advice. Default 64.
 	QueueDepth int
-	// Retries is the per-scenario retry budget (default 1; retried
-	// attempts reuse the derived seed, so retries never change bytes).
+	// Retries is the per-scenario retry budget. Zero is honored as zero
+	// (no retries — the engine's single-attempt mode, and what suitsweep
+	// defaults to); negative means "use the default" of 1, the budget
+	// cmd/suitd runs with unless -retries says otherwise. Retried
+	// attempts reuse the derived seed, so retries never change bytes.
 	Retries int
 	// JobTimeout arms the engine's per-scenario watchdog (0 disables).
 	JobTimeout time.Duration
@@ -53,11 +57,8 @@ func (c Config) withDefaults() (Config, error) {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
-	if c.Retries == 0 {
-		c.Retries = 1
-	}
 	if c.Retries < 0 {
-		c.Retries = 0
+		c.Retries = 1
 	}
 	return c, nil
 }
@@ -226,17 +227,24 @@ func (s *Service) JobsInOrder() []*Job {
 	return out
 }
 
-// RetryAfterSeconds advises a rejected client when to retry: the mean
-// executed-job duration (a queue slot frees roughly that often per
-// executor), defaulting to 5 s before any job has finished, clamped to
-// [1, 300].
+// RetryAfterSeconds advises a rejected client when to retry: the time
+// for the backlog ahead of it to drain — ⌈queued / ExecJobs⌉ executor
+// waves of the mean executed-job duration (5 s before any job has
+// finished) — clamped to [1, 300]. A rejected client was turned away by
+// a full queue, so advising one mean duration regardless of depth would
+// send the whole herd back into a still-full queue; scaling by
+// occupancy spreads the retries across the drain.
 func (s *Service) RetryAfterSeconds() int {
 	n := s.jobsExecuted.Load()
 	secs := 5.0
 	if n > 0 {
 		secs = float64(s.jobSecondsMilli.Load()) / 1000 / float64(n)
 	}
-	return int(math.Min(300, math.Max(1, math.Ceil(secs))))
+	waves := math.Ceil(float64(len(s.queue)) / float64(s.cfg.ExecJobs))
+	if waves < 1 {
+		waves = 1
+	}
+	return int(math.Min(300, math.Max(1, math.Ceil(secs*waves))))
 }
 
 // Draining reports whether Drain has begun.

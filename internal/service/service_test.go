@@ -193,6 +193,14 @@ func TestBackpressureQueueFull(t *testing.T) {
 	if retry := svc.RetryAfterSeconds(); retry < 1 || retry > 300 {
 		t.Errorf("RetryAfterSeconds = %d, want within [1, 300]", retry)
 	}
+	// The advice scales with occupancy: B is still queued ahead of the
+	// rejected client, so with a (synthetic) 42 s mean job duration one
+	// executor wave must drain before a retry can be admitted.
+	svc.jobsExecuted.Store(1)
+	svc.jobSecondsMilli.Store(42_000)
+	if retry := svc.RetryAfterSeconds(); retry != 42 {
+		t.Errorf("RetryAfterSeconds with 1 queued job = %d, want 42 (1 wave x 42 s)", retry)
+	}
 	close(release)
 }
 
@@ -370,5 +378,50 @@ func TestJobEvents(t *testing.T) {
 	}
 	if last.State != StateDone || last.Done != last.Total || last.Total != 2 {
 		t.Errorf("terminal event = %+v", last)
+	}
+}
+
+// TestRetriesExplicitZeroSticks is the regression test for the config
+// bug where `-retries 0` was silently promoted to 1: zero must be
+// honored as "no retries" (the engine's single-attempt mode and
+// suitsweep's default), while negative means "unset → default 1" (the
+// suitd default).
+func TestRetriesExplicitZeroSticks(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{in: 0, want: 0},
+		{in: -1, want: 1},
+		{in: -7, want: 1},
+		{in: 3, want: 3},
+	} {
+		cfg, err := Config{StateDir: t.TempDir(), Retries: tc.in}.withDefaults()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Retries != tc.want {
+			t.Errorf("Retries %d → %d, want %d", tc.in, cfg.Retries, tc.want)
+		}
+	}
+}
+
+// TestRetryAfterScalesWithQueueDepth pins the backpressure advice to
+// the backlog: ⌈queued / ExecJobs⌉ waves of the mean job duration,
+// clamped to [1, 300]. The service is built directly (no executor pool)
+// so queue occupancy and the duration telemetry are fully controlled.
+func TestRetryAfterScalesWithQueueDepth(t *testing.T) {
+	s := &Service{cfg: Config{ExecJobs: 2}, queue: make(chan *Job, 8)}
+	s.jobsExecuted.Store(2)
+	s.jobSecondsMilli.Store(16_000) // mean job duration 8 s
+	if got := s.RetryAfterSeconds(); got != 8 {
+		t.Errorf("empty queue: RetryAfterSeconds = %d, want 8 (one wave)", got)
+	}
+	for i := 0; i < 5; i++ {
+		s.queue <- nil
+	}
+	if got := s.RetryAfterSeconds(); got != 24 {
+		t.Errorf("5 queued / 2 executors: RetryAfterSeconds = %d, want 24 (3 waves x 8 s)", got)
+	}
+	s.jobSecondsMilli.Store(2_000_000) // mean 1000 s: the clamp must hold
+	if got := s.RetryAfterSeconds(); got != 300 {
+		t.Errorf("clamp: RetryAfterSeconds = %d, want 300", got)
 	}
 }

@@ -145,6 +145,14 @@ func (b Burst) estimateEvents(total uint64) int {
 		intra = 1
 	}
 	meanQuiet := b.QuietMedian * math.Exp(b.QuietSigma*b.QuietSigma/2)
+	// Emit clamps every quiet gap at total, so for traces shorter than
+	// the typical quiet gap the realized mean is bounded by total too.
+	// Without this clamp the hint collapses to a fraction of the real
+	// event count on short traces of long-quiet workloads (the AES-dense
+	// benches) and append regrowth dominates generation.
+	if meanQuiet > float64(total) {
+		meanQuiet = float64(total)
+	}
 	cycle := b.MeanBurstLen*intra + meanQuiet
 	if cycle < 1 {
 		cycle = 1
@@ -183,15 +191,12 @@ func Generate(spec Spec) (*Trace, error) {
 		}
 	}
 	events := make([]Event, 0, capHint)
+	bounds := make([]int, 1, len(spec.Sources)+1)
 	for _, src := range spec.Sources {
 		events = src.Emit(events, spec.Total, rng)
+		bounds = append(bounds, len(events))
 	}
-	sort.Slice(events, func(i, j int) bool {
-		if events[i].Index != events[j].Index {
-			return events[i].Index < events[j].Index
-		}
-		return events[i].Op < events[j].Op
-	})
+	events = sortEmitted(events, bounds)
 	// Resolve collisions: each instruction slot holds one instruction.
 	out := events[:0]
 	var nextFree uint64
@@ -210,4 +215,60 @@ func Generate(spec Spec) (*Trace, error) {
 		return nil, err
 	}
 	return t, nil
+}
+
+// eventLess is Generate's (Index, Op) ordering.
+func eventLess(a, b Event) bool {
+	if a.Index != b.Index {
+		return a.Index < b.Index
+	}
+	return a.Op < b.Op
+}
+
+// sortEmitted orders the emitted events by (Index, Op). Every shipped
+// Source emits strictly increasing indices of a single opcode, so the
+// buffer is a concatenation of pre-sorted runs (bounds[i]:bounds[i+1]
+// is source i's run) and a k-way merge replaces the O(n log n) global
+// sort. The merge output is byte-identical to the sort: events with
+// equal (Index, Op) keys are identical structs, so the only freedom the
+// comparison sort had — the order of fully-equal elements — cannot be
+// observed. A custom Source that emits out of order falls back to the
+// global sort.
+func sortEmitted(events []Event, bounds []int) []Event {
+	type run struct{ i, end int }
+	runs := make([]run, 0, len(bounds)-1)
+	for r := 0; r+1 < len(bounds); r++ {
+		lo, hi := bounds[r], bounds[r+1]
+		for i := lo + 1; i < hi; i++ {
+			if eventLess(events[i], events[i-1]) {
+				sort.Slice(events, func(i, j int) bool {
+					return eventLess(events[i], events[j])
+				})
+				return events
+			}
+		}
+		if lo < hi {
+			runs = append(runs, run{i: lo, end: hi})
+		}
+	}
+	if len(runs) <= 1 {
+		return events // zero or one non-empty run: already sorted in place
+	}
+	out := make([]Event, 0, len(events))
+	for {
+		best := -1
+		for r := range runs {
+			if runs[r].i >= runs[r].end {
+				continue
+			}
+			if best < 0 || eventLess(events[runs[r].i], events[runs[best].i]) {
+				best = r
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, events[runs[best].i])
+		runs[best].i++
+	}
 }
