@@ -1,17 +1,21 @@
 package main
 
 import (
+	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"suit/internal/analysis"
 	"suit/internal/analysis/load"
 )
 
-// TestRepoIsLintClean runs all four analyzers over the whole module
-// in-process and demands a clean tree: every remaining finding must be
-// fixed or carry an explained //lint:allow.
+// TestRepoIsLintClean runs all six analyzers over the whole module
+// in-process through one shared session — facts flowing in dependency
+// order, stale-allow detection on — and demands a clean tree: every
+// remaining finding must be fixed or carry an explained //lint:allow,
+// and every //lint:allow must still be doing work.
 func TestRepoIsLintClean(t *testing.T) {
 	pkgs, err := load.Packages("../..", "./...")
 	if err != nil {
@@ -20,8 +24,10 @@ func TestRepoIsLintClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("no packages loaded")
 	}
+	session := analysis.NewSession(analyzers())
+	session.ReportStale = true
 	for _, pkg := range pkgs {
-		diags, err := analysis.Run(pkg, analyzers())
+		diags, err := session.RunPackage(pkg)
 		if err != nil {
 			t.Fatalf("analyzing %s: %v", pkg.Pkg.Path(), err)
 		}
@@ -31,8 +37,97 @@ func TestRepoIsLintClean(t *testing.T) {
 	}
 }
 
+// TestAllocRegressionIsCaught is the tree-level half of the allocfree
+// acceptance criterion: a copy of the real internal/ tree with an
+// append seeded under cpu.runStep must produce an allocfree finding at
+// exactly that line. The fixture half lives in
+// internal/analysis/allocfree/testdata/src/hotregress.
+func TestAllocRegressionIsCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("copies the tree and shells out to go list")
+	}
+	tmp := t.TempDir()
+	copyTree(t, "../../internal", filepath.Join(tmp, "internal"))
+	mod, err := os.ReadFile("../../go.mod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "go.mod"), mod, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed the regression: a trace append on runStep's first line.
+	runGo := filepath.Join(tmp, "internal", "cpu", "run.go")
+	src, err := os.ReadFile(runGo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const anchor = "func (m *Machine) runStep() error {"
+	if !strings.Contains(string(src), anchor) {
+		t.Fatalf("anchor %q not found in %s", anchor, runGo)
+	}
+	mutated := strings.Replace(string(src), anchor,
+		anchor+"\n\tmutationLeak = append(mutationLeak, m.now)", 1)
+	mutated += "\n\nvar mutationLeak []units.Second\n"
+	if err := os.WriteFile(runGo, []byte(mutated), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	pkgs, err := load.Packages(tmp, "./internal/cpu")
+	if err != nil {
+		t.Fatalf("loading mutated tree: %v", err)
+	}
+	session := analysis.NewSession(analyzers())
+	var hits []string
+	for _, pkg := range pkgs {
+		diags, err := session.RunPackage(pkg)
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", pkg.Pkg.Path(), err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if d.Analyzer == "allocfree" && strings.HasSuffix(pos.Filename, "run.go") &&
+				strings.Contains(d.Message, "append") {
+				hits = append(hits, pos.String()+": "+d.Message)
+			}
+		}
+	}
+	if len(hits) == 0 {
+		t.Fatal("seeded append under runStep was not flagged by allocfree")
+	}
+}
+
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dst, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		s, d := filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())
+		if e.IsDir() {
+			copyTree(t, s, d)
+			continue
+		}
+		data, err := os.ReadFile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(d, data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestVettoolProtocol builds the binary and drives it through the real
 // cmd/go vet-tool handshake (-V=full, then per-package .cfg files).
+// The package set deliberately spans a fact edge — internal/msr and
+// internal/isa export Allocates facts that internal/cpu's hot path
+// consumes via .vetx files — so the protocol's fact plumbing is
+// exercised, not just its diagnostics.
 func TestVettoolProtocol(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds a binary and shells out to go vet")
@@ -41,9 +136,38 @@ func TestVettoolProtocol(t *testing.T) {
 	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
 		t.Fatalf("building suitlint: %v\n%s", err, out)
 	}
-	cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/units/...", "./internal/isa/...")
+	cmd := exec.Command("go", "vet", "-vettool="+bin,
+		"./internal/units/...", "./internal/isa/...", "./internal/msr/...", "./internal/cpu/...")
 	cmd.Dir = "../.."
 	if out, err := cmd.CombinedOutput(); err != nil {
 		t.Fatalf("go vet -vettool failed: %v\n%s", err, out)
+	}
+
+	// Positive control: a synthetic two-package module where the hot
+	// package can ONLY be flagged if the dependency's Allocates fact
+	// survived the .vetx round-trip. A silent fact-plumbing regression
+	// would make this vet run pass, so demand the failure.
+	mod := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		p := filepath.Join(mod, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module vx\n\ngo 1.22\n")
+	write("dep/dep.go", "package dep\n\nfunc Grow(s []int) []int { return append(s, 1) }\n")
+	write("hot/hot.go", "package hot\n\nimport \"vx/dep\"\n\n//suit:hotpath\nfunc Step(s []int) []int {\n\treturn dep.Grow(s)\n}\n")
+	cmd = exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = mod
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet on the seeded module passed; dependency facts did not cross the .vetx boundary\n%s", out)
+	}
+	if !strings.Contains(string(out), "calls dep.Grow which may allocate") {
+		t.Fatalf("vet failed but not with the fact-derived finding:\n%s", out)
 	}
 }

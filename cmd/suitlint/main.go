@@ -1,9 +1,11 @@
 // Command suitlint is the SUIT simulator's static-analysis suite. It
-// bundles five domain analyzers:
+// bundles six domain analyzers:
 //
 //	determinism  no wall clock, global rand, unseeded sources or
 //	             order-dependent map iteration in result-affecting
-//	             packages (the engine's cross--j replay contract)
+//	             packages (the engine's cross--j replay contract);
+//	             wall-clock taint propagates through helpers in ANY
+//	             package and is charged at result-affecting call sites
 //	exhaustive   switches over enum-like simulator types cover every
 //	             constant or panic in an explicit default
 //	units        no raw literals into internal/units quantity types,
@@ -13,15 +15,27 @@
 //	hotpath      math.Pow in internal/cpu's per-event code must carry
 //	             an explained allow (the constant-voltage fast path
 //	             makes the slow path exceptional)
+//	allocfree    no allocation sites reachable from //suit:hotpath
+//	             roots; hotness propagates over static calls and method
+//	             values, and "may allocate" facts cross package
+//	             boundaries
 //
 // Findings are suppressed line-by-line with an explained comment:
 //
 //	//lint:allow <analyzer> <reason>
 //
+// A trailing allow covers its own line; a standalone allow covers the
+// line below. When the full analyzer set runs, an allow that suppresses
+// nothing is itself reported (staleallow), so dead suppressions cannot
+// accumulate.
+//
 // It runs in two modes:
 //
-//	suitlint [packages]            standalone, e.g. suitlint ./...
-//	go vet -vettool=suitlint pkgs  as a vet tool (cmd/go protocol)
+//	suitlint [-only=a,b] [-json] [packages]   standalone
+//	go vet -vettool=suitlint pkgs             as a vet tool (cmd/go protocol)
+//
+// -json emits machine-readable findings on stdout, stably sorted by
+// (file, line, col, analyzer, message), for CI annotation.
 //
 // Exit status is 0 when the tree is clean, 2 when diagnostics were
 // reported, 1 on usage or load errors.
@@ -29,13 +43,17 @@ package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"suit/internal/analysis"
+	"suit/internal/analysis/allocfree"
 	"suit/internal/analysis/determinism"
 	"suit/internal/analysis/exhaustive"
 	"suit/internal/analysis/hotpath"
@@ -52,6 +70,7 @@ func analyzers() []*analysis.Analyzer {
 		unitsafe.Analyzer,
 		panicpath.Analyzer,
 		hotpath.Analyzer,
+		allocfree.Analyzer,
 	}
 }
 
@@ -79,11 +98,24 @@ func main() {
 	os.Exit(standalone(args))
 }
 
+// A finding is the JSON wire form of one diagnostic. Suppressible is
+// false for the framework's own meta-diagnostics (malformed or stale
+// //lint:allow comments), which cannot themselves be allowed away.
+type finding struct {
+	File         string `json:"file"`
+	Line         int    `json:"line"`
+	Col          int    `json:"col"`
+	Analyzer     string `json:"analyzer"`
+	Message      string `json:"message"`
+	Suppressible bool   `json:"suppressible"`
+}
+
 func standalone(args []string) int {
 	fs := flag.NewFlagSet("suitlint", flag.ExitOnError)
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON on stdout (stable sort: file, line, col, analyzer, message)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: suitlint [-only=a,b] [packages]")
+		fmt.Fprintln(os.Stderr, "usage: suitlint [-only=a,b] [-json] [packages]")
 		for _, a := range analyzers() {
 			fmt.Fprintf(os.Stderr, "\n%s:\n  %s\n", a.Name, a.Doc)
 		}
@@ -118,23 +150,89 @@ func standalone(args []string) int {
 		fmt.Fprintln(os.Stderr, "suitlint:", err)
 		return 1
 	}
-	found := 0
+
+	// One session across every package: load.Packages returns them in
+	// dependency order, so facts flow bottom-up. Stale-allow detection
+	// is only sound when every analyzer runs — under -only, an unused
+	// allow may belong to an analyzer that simply did not execute.
+	session := analysis.NewSession(run)
+	session.ReportStale = *only == ""
+
+	// Findings are reported relative to the working directory when they
+	// fall under it, so CI annotations map onto repository paths.
+	wd, _ := os.Getwd()
+
+	var all []finding
 	for _, pkg := range pkgs {
-		diags, err := analysis.Run(pkg, run)
+		diags, err := session.RunPackage(pkg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "suitlint:", err)
 			return 1
 		}
 		for _, d := range diags {
-			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			pos := pkg.Fset.Position(d.Pos)
+			all = append(all, finding{
+				File:     relPath(wd, pos.Filename),
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Suppressible: d.Analyzer != analysis.LintAllowName &&
+					d.Analyzer != analysis.StaleAllowName,
+			})
 		}
-		found += len(diags)
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "suitlint: %d finding(s)\n", found)
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].File != all[j].File {
+			return all[i].File < all[j].File
+		}
+		if all[i].Line != all[j].Line {
+			return all[i].Line < all[j].Line
+		}
+		if all[i].Col != all[j].Col {
+			return all[i].Col < all[j].Col
+		}
+		if all[i].Analyzer != all[j].Analyzer {
+			return all[i].Analyzer < all[j].Analyzer
+		}
+		return all[i].Message < all[j].Message
+	})
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []finding{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(os.Stderr, "suitlint:", err)
+			return 1
+		}
+	} else {
+		for _, f := range all {
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if len(all) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "suitlint: %d finding(s)\n", len(all))
+		}
 		return 2
 	}
 	return 0
+}
+
+// relPath returns name relative to wd when it lies underneath it, and
+// name unchanged otherwise (including when wd is empty).
+func relPath(wd, name string) string {
+	if wd == "" {
+		return name
+	}
+	rel, err := filepath.Rel(wd, name)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return name
+	}
+	return rel
 }
 
 // printVersion emits "<name> version <id>" where id hashes the binary,

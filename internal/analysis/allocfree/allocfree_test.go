@@ -1,0 +1,25 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"suit/internal/analysis/allocfree"
+	"suit/internal/analysis/analysistest"
+)
+
+func TestAllocSites(t *testing.T) {
+	analysistest.Run(t, "testdata", allocfree.Analyzer, "allocsites")
+}
+
+// TestSeededRegression is the fixture leg of the acceptance criterion:
+// an append under runStep must always be flagged.
+func TestSeededRegression(t *testing.T) {
+	analysistest.Run(t, "testdata", allocfree.Analyzer, "hotregress")
+}
+
+// TestCrossPackageFacts drives two fixture packages through one shared
+// session in dependency order; xhot's findings depend entirely on facts
+// exported while analyzing xdep.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.RunDeps(t, "testdata", allocfree.Analyzer, "xdep", "xhot")
+}

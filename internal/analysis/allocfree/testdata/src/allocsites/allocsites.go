@@ -1,0 +1,122 @@
+// Package allocsites exercises every allocation-site class the
+// allocfree analyzer knows, plus the propagation rules: hotness spreads
+// over static calls and method values, never over interface dispatch or
+// function values.
+package allocsites
+
+import (
+	"errors"
+	"fmt"
+)
+
+type payload struct{ n int }
+
+// hot is an annotated root: every allocation site inside it (or inside
+// anything it statically reaches) is a finding.
+//
+//suit:hotpath
+func hot(dst []int, m map[string]int, s string) {
+	_ = make([]int, 8)       // want `hot path: make allocates`
+	_ = new(payload)         // want `hot path: new allocates`
+	dst = append(dst, 1)     // want `hot path: append may grow the backing array`
+	m["k"] = 1               // want `hot path: map assignment may allocate`
+	_ = s + "x"              // want `hot path: string concatenation allocates`
+	_ = []byte(s)            // want `hot path: string to \[\]byte/\[\]rune conversion allocates`
+	_ = fmt.Sprintf("%d", 1) // want `hot path: fmt\.Sprintf allocates`
+	_ = errors.New("boom")   // want `hot path: errors\.New allocates`
+	helper()
+	var sink any
+	sink = payload{n: 1} // want `hot path: assignment boxes value into interface any`
+	_ = sink
+}
+
+// helper is not annotated but is statically called from hot, so its
+// sites surface where they occur.
+func helper() {
+	_ = make([]int, 1) // want `hot path: make allocates`
+}
+
+// cold allocates freely: nothing reaches it from a root, so no findings
+// (its Allocates fact is still exported for cross-package callers).
+func cold() {
+	_ = make([]int, 64)
+	_ = fmt.Sprintf("%v", 3)
+}
+
+type doer interface{ Do() }
+
+type impl struct{}
+
+// Do allocates, but impl.Do is only ever reached through the interface:
+// conservative dispatch means no finding unless Do is annotated itself.
+func (impl) Do() { _ = make([]int, 1) }
+
+//suit:hotpath
+func hotIface(d doer) {
+	d.Do()
+}
+
+//suit:hotpath
+func hotFuncValue(f func()) {
+	f()
+}
+
+//suit:hotpath
+func hotClosure() {
+	x := 1
+	f := func() { x++ } // want `hot path: func literal captures variables and allocates a closure`
+	f()
+	g := func() {} // non-capturing literal: a static closure, no allocation
+	g()
+}
+
+type T struct{}
+
+// alloc is reached from hotMethodValue via a bound method value, which
+// is statically resolved: hotness propagates.
+func (T) alloc() { _ = make([]int, 2) } // want `hot path: make allocates`
+
+//suit:hotpath
+func hotMethodValue(t T) {
+	m := t.alloc
+	_ = m
+}
+
+//suit:hotpath
+func hotGo() {
+	go func() {}() // want `hot path: go statement allocates a new goroutine`
+}
+
+//suit:hotpath
+func hotLiterals() {
+	_ = []int{1, 2}      // want `hot path: slice literal allocates`
+	_ = map[string]int{} // want `hot path: map literal allocates`
+	_ = &payload{}       // want `hot path: &composite literal may escape and allocate`
+}
+
+type wrap struct{ p *payload }
+
+func take(v any) { _ = v }
+
+// hotBoxing: only non-pointer-shaped values allocate when boxed into an
+// interface; pointers and single-pointer-field structs ride in the
+// interface word directly.
+//
+//suit:hotpath
+func hotBoxing(w wrap, p payload, pp *payload) {
+	take(w)
+	take(pp)
+	take(p) // want `hot path: argument boxed into interface any allocates`
+}
+
+// hotAllowed: an explained site is invisible — no finding, and no
+// Allocates fact, so annotated callers of hotAllowed stay clean.
+//
+//suit:hotpath
+func hotAllowed() {
+	_ = make([]int, 1) //lint:allow allocfree scratch buffer preallocated per run, measured off the steady state
+	hotAllowed2()
+}
+
+//suit:hotpath
+func hotAllowed2() {}

@@ -1,0 +1,31 @@
+// Package hotregress seeds the canonical regression the allocfree
+// analyzer exists to catch: an append creeping under the sweep engine's
+// per-event dispatch loop. The shape mirrors internal/cpu's Machine —
+// if this fixture ever stops flagging, the real contract is unguarded.
+package hotregress
+
+type machine struct {
+	now   int
+	trace []int
+}
+
+// runStep is the per-event dispatch loop.
+//
+//suit:hotpath
+func (m *machine) runStep() {
+	m.now++
+	m.trace = append(m.trace, m.now) // want `hot path: append may grow the backing array`
+	m.advanceTo(m.now + 1)
+}
+
+// advanceTo is reached transitively: not annotated, still hot.
+func (m *machine) advanceTo(t int) {
+	for m.now < t {
+		m.now++
+		m.popEvent()
+	}
+}
+
+func (m *machine) popEvent() {
+	_ = new(int) // want `hot path: new allocates`
+}

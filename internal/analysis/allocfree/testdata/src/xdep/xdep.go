@@ -1,0 +1,21 @@
+// Package xdep is the dependency half of the cross-package fact
+// fixture: it is analyzed first, in its own type-checking session, and
+// exports Allocates facts that package xhot imports at call sites.
+package xdep
+
+// Grow allocates; the fact crosses the package boundary.
+func Grow(dst []int) []int {
+	return append(dst, 1)
+}
+
+// Quiet's only site is explained, so no fact is exported and callers
+// stay clean.
+func Quiet() {
+	_ = make([]int, 4) //lint:allow allocfree buffer preallocated once at startup, not per step
+}
+
+// Deep allocates only transitively, through Grow: the summary fixpoint
+// still exports a fact for it.
+func Deep(dst []int) []int {
+	return Grow(dst)
+}

@@ -1,0 +1,23 @@
+// Package xhot is the dependent half of the cross-package fact fixture:
+// its hot functions call into package xdep, whose Allocates facts were
+// exported by an earlier RunPackage in the same session.
+package xhot
+
+import "xdep"
+
+//suit:hotpath
+func Step(dst []int) []int {
+	dst = xdep.Grow(dst) // want `hot path: calls xdep\.Grow which may allocate \(xdep\.go:8: append may grow the backing array\)`
+	xdep.Quiet()
+	return dst
+}
+
+//suit:hotpath
+func StepDeep(dst []int) []int {
+	return xdep.Deep(dst) // want `hot path: calls xdep\.Deep which may allocate`
+}
+
+//suit:hotpath
+func StepAllowed(dst []int) []int {
+	return xdep.Grow(dst) //lint:allow allocfree growth amortized across the sweep, measured off the steady state
+}

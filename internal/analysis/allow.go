@@ -28,6 +28,31 @@ type Allow struct {
 	File     string // filename the comment appears in
 	Analyzer string
 	Reason   string
+
+	// Trailing records the comment's form: true when code ends on the
+	// comment's own line (the comment trails a statement), false when
+	// the comment stands alone. A trailing allow covers its own line
+	// only; a standalone allow covers the line directly below only.
+	// Matching both at once — the historical behavior — let a trailing
+	// allow silently swallow the next line's finding too.
+	Trailing bool
+}
+
+// codeEndLines records, per file, every line on which a non-comment
+// syntax node ends. Line comments always sort after the code on their
+// line, so "code ends on the comment's line" is exactly the trailing
+// form.
+func codeEndLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return true
+		}
+		lines[fset.Position(n.End()).Line] = true
+		return true
+	})
+	return lines
 }
 
 // CollectAllows extracts every //lint:allow comment from files.
@@ -37,6 +62,7 @@ func CollectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool
 	var allows []Allow
 	var bad []Diagnostic
 	for _, f := range files {
+		ends := codeEndLines(fset, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
@@ -78,6 +104,7 @@ func CollectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool
 						File:     pos.Filename,
 						Analyzer: name,
 						Reason:   reason,
+						Trailing: ends[pos.Line],
 					})
 				}
 			}
@@ -86,9 +113,23 @@ func CollectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool
 	return allows, bad
 }
 
-// Suppress drops diagnostics matched by a suppression: same analyzer,
-// same file, and the diagnostic sits on the comment's line (trailing
-// form) or the line below (standalone form).
+// matches reports whether the allow covers a position: same analyzer,
+// same file, and — depending on form — the comment's own line (trailing)
+// or exactly the line below (standalone).
+func (a *Allow) matches(analyzer string, pos token.Position) bool {
+	if a.Analyzer != analyzer || a.File != pos.Filename {
+		return false
+	}
+	if a.Trailing {
+		return a.Line == pos.Line
+	}
+	return a.Line+1 == pos.Line
+}
+
+// Suppress drops diagnostics matched by a suppression. It is the
+// untracked form used by drivers that do not report stale allows;
+// Session.RunPackage goes through an allowTracker instead so usage is
+// recorded.
 func Suppress(fset *token.FileSet, diags []Diagnostic, allows []Allow) []Diagnostic {
 	if len(allows) == 0 {
 		return diags
@@ -97,14 +138,54 @@ func Suppress(fset *token.FileSet, diags []Diagnostic, allows []Allow) []Diagnos
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
 		suppressed := false
-		for _, a := range allows {
-			if a.Analyzer == d.Analyzer && a.File == pos.Filename &&
-				(a.Line == pos.Line || a.Line+1 == pos.Line) {
+		for i := range allows {
+			if allows[i].matches(d.Analyzer, pos) {
 				suppressed = true
 				break
 			}
 		}
 		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// An allowTracker wraps a package's suppressions with per-allow usage
+// accounting, feeding stale-suppression detection. An allow counts as
+// used when it drops a diagnostic OR when an analyzer consults it via
+// Pass.Allowed while computing facts (a suppression that blocks a fact
+// export is load-bearing even though no diagnostic ever surfaces).
+type allowTracker struct {
+	allows []Allow
+	used   []bool
+}
+
+func newAllowTracker(allows []Allow) *allowTracker {
+	return &allowTracker{allows: allows, used: make([]bool, len(allows))}
+}
+
+// match reports whether any allow for analyzer covers pos, marking
+// every covering allow used.
+func (t *allowTracker) match(analyzer string, pos token.Position) bool {
+	ok := false
+	for i := range t.allows {
+		if t.allows[i].matches(analyzer, pos) {
+			t.used[i] = true
+			ok = true
+		}
+	}
+	return ok
+}
+
+// suppress is Suppress with usage tracking.
+func (t *allowTracker) suppress(fset *token.FileSet, diags []Diagnostic) []Diagnostic {
+	if len(t.allows) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !t.match(d.Analyzer, fset.Position(d.Pos)) {
 			kept = append(kept, d)
 		}
 	}

@@ -101,6 +101,93 @@ func TestSuppress(t *testing.T) {
 	}
 }
 
+// TestSuppressionScoping is the regression test for the allow-scoping
+// bug: each form must cover exactly one line (trailing → its own,
+// standalone → the one below) and only its named analyzer. Before the
+// fix a trailing allow also swallowed same-analyzer findings on the
+// next line.
+func TestSuppressionScoping(t *testing.T) {
+	fset, files := parseAllowSrc(t)
+	known := map[string]bool{"determinism": true, "units": true}
+	allows, _ := CollectAllows(fset, files, known)
+	trailing, standalone := allows[0], allows[1]
+
+	if !trailing.Trailing {
+		t.Error("allow after code on the line not detected as trailing")
+	}
+	if standalone.Trailing {
+		t.Error("allow on its own line misdetected as trailing")
+	}
+
+	posAt := func(line int) token.Pos {
+		return fset.File(files[0].Pos()).LineStart(line)
+	}
+
+	diags := []Diagnostic{
+		// Line below a TRAILING suppression, same analyzer: must be kept.
+		{Pos: posAt(trailing.Line + 1), Analyzer: "determinism", Message: "below-trailing"},
+		// Same line as a STANDALONE suppression (the comment's own line):
+		// must be kept — nothing but the comment is there to suppress.
+		{Pos: posAt(standalone.Line), Analyzer: "units", Message: "on-standalone"},
+		// A different analyzer's finding on a covered line: must be kept
+		// even though a suppression covers that line for another analyzer.
+		{Pos: posAt(standalone.Line + 1), Analyzer: "determinism", Message: "other-analyzer"},
+		// Control: the intended targets are still suppressed.
+		{Pos: posAt(trailing.Line), Analyzer: "determinism", Message: "on-trailing"},
+		{Pos: posAt(standalone.Line + 1), Analyzer: "units", Message: "below-standalone"},
+	}
+	kept := Suppress(fset, diags, allows)
+	var msgs []string
+	for _, d := range kept {
+		msgs = append(msgs, d.Message)
+	}
+	want := []string{"below-trailing", "on-standalone", "other-analyzer"}
+	if len(msgs) != len(want) {
+		t.Fatalf("kept = %v, want %v", msgs, want)
+	}
+	for i := range want {
+		if msgs[i] != want[i] {
+			t.Errorf("kept[%d] = %q, want %q", i, msgs[i], want[i])
+		}
+	}
+}
+
+// TestAllowTrackerStale exercises the used-marking that feeds stale
+// detection: suppressing a diagnostic or being consulted via match
+// marks an allow used; untouched allows stay stale.
+func TestAllowTrackerStale(t *testing.T) {
+	fset, files := parseAllowSrc(t)
+	known := map[string]bool{"determinism": true, "units": true}
+	allows, _ := CollectAllows(fset, files, known)
+	tr := newAllowTracker(allows)
+
+	posAt := func(line int) token.Pos {
+		return fset.File(files[0].Pos()).LineStart(line)
+	}
+
+	// Suppress a diagnostic covered by the trailing determinism allow.
+	kept := tr.suppress(fset, []Diagnostic{
+		{Pos: posAt(allows[0].Line), Analyzer: "determinism", Message: "x"},
+	})
+	if len(kept) != 0 {
+		t.Fatalf("kept = %+v, want none", kept)
+	}
+	if !tr.used[0] {
+		t.Error("suppressing a diagnostic did not mark the allow used")
+	}
+	if tr.used[1] {
+		t.Error("unrelated allow marked used")
+	}
+
+	// Consulting via match (the Pass.Allowed path) also marks used.
+	if !tr.match("units", fset.Position(posAt(allows[1].Line+1))) {
+		t.Fatal("match missed the standalone units allow")
+	}
+	if !tr.used[1] {
+		t.Error("match did not mark the allow used")
+	}
+}
+
 func TestMalformedAllowDoesNotSuppress(t *testing.T) {
 	fset, files := parseAllowSrc(t)
 	allows, _ := CollectAllows(fset, files, map[string]bool{"determinism": true})

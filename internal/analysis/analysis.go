@@ -19,6 +19,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"suit/internal/analysis/facts"
 )
 
 // An Analyzer describes one static check.
@@ -43,7 +45,13 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	diags *[]Diagnostic
+	// Facts is the session's cross-package fact store. Analyzers export
+	// deductions about this package's functions and import deductions
+	// about dependencies' functions at call sites.
+	Facts *facts.Store
+
+	diags  *[]Diagnostic
+	allows *allowTracker
 }
 
 // Reportf records a diagnostic at pos.
@@ -53,6 +61,34 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// ExportFact records a cross-package fact for fn, which must be a
+// package-level function or method (closures are not addressable; fold
+// their state into the enclosing declaration).
+func (p *Pass) ExportFact(fn *types.Func, f facts.Fact) {
+	p.Facts.Export(fn, f)
+}
+
+// ImportFact copies a previously exported fact of ptr's concrete type
+// for fn into *ptr, reporting whether one existed. Facts flow in
+// dependency order: a callee's facts are available when the caller's
+// package is analyzed.
+func (p *Pass) ImportFact(fn *types.Func, ptr facts.Fact) bool {
+	return p.Facts.Import(fn, ptr)
+}
+
+// Allowed reports whether a //lint:allow comment for this analyzer
+// covers pos, and marks that suppression as load-bearing for stale
+// detection. Analyzers call it while computing facts: a site whose
+// finding is explained away must not export its taint/allocation to
+// callers, and the comment that does the explaining is "used" even
+// when the site never surfaces as a diagnostic.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	if p.allows == nil {
+		return false
+	}
+	return p.allows.match(p.Analyzer.Name, p.Fset.Position(pos))
 }
 
 // A Diagnostic is one finding, attributed to the analyzer that made it.
@@ -85,17 +121,76 @@ func NewInfo() *types.Info {
 	}
 }
 
-// Run executes the given analyzers over pkg and returns the surviving
-// diagnostics, sorted by position. It is the single code path shared by
-// every driver:
+// Meta-analyzer names used for diagnostics the framework itself emits.
+// Neither can be suppressed with //lint:allow (their names are not
+// accepted by CollectAllows' known set).
+const (
+	// LintAllowName attributes malformed-suppression diagnostics.
+	LintAllowName = "lintallow"
+	// StaleAllowName attributes dead-suppression diagnostics: a
+	// well-formed //lint:allow that suppressed nothing and blocked no
+	// fact export during the whole package run.
+	StaleAllowName = "staleallow"
+)
+
+// A Session drives the analyzers over a sequence of packages sharing
+// one fact store. Packages must be presented in dependency order
+// (dependencies first) for cross-package facts to flow; the go-list
+// loader and the vet protocol both guarantee that.
+type Session struct {
+	// Facts carries cross-package analysis state. A fresh store is
+	// created by NewSession; drivers reviving dependency facts (the vet
+	// unitchecker) may replace it before the first RunPackage.
+	Facts *facts.Store
+
+	// ReportStale, when set, reports //lint:allow comments that neither
+	// suppressed a diagnostic nor blocked a fact export, as
+	// StaleAllowName diagnostics. Enable only when running the full
+	// analyzer set: under -only, an allow for an analyzer that did not
+	// run is silent, not stale (allows naming analyzers outside the
+	// session are never reported either way).
+	ReportStale bool
+
+	analyzers []*Analyzer
+	known     map[string]bool
+}
+
+// NewSession returns a session running the given analyzers with an
+// empty fact store.
+func NewSession(analyzers []*Analyzer) *Session {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	return &Session{
+		Facts:     facts.NewStore(),
+		analyzers: analyzers,
+		known:     known,
+	}
+}
+
+// Run executes the given analyzers over a single package with a fresh,
+// private fact store — the compatibility path for fixture tests and
+// one-package drivers. Multi-package drivers use a Session so facts
+// cross package boundaries.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return NewSession(analyzers).RunPackage(pkg)
+}
+
+// RunPackage executes the session's analyzers over pkg and returns the
+// surviving diagnostics, sorted by position. It is the single code path
+// shared by every driver:
 //
 //  1. _test.go files are excluded from analysis (tests may use
 //     wall-clock time, ad-hoc randomness and raw literals freely);
 //  2. //lint:allow comments are collected once per package; malformed
 //     ones (missing reason, unknown analyzer) become diagnostics;
-//  3. each analyzer runs over the remaining files;
-//  4. diagnostics matched by a well-formed suppression are dropped.
-func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+//  3. each analyzer runs over the remaining files, reading and writing
+//     session facts;
+//  4. diagnostics matched by a well-formed suppression are dropped;
+//  5. with ReportStale, suppressions that did no work become
+//     StaleAllowName diagnostics.
+func (s *Session) RunPackage(pkg *Package) ([]Diagnostic, error) {
 	files := make([]*ast.File, 0, len(pkg.Files))
 	for _, f := range pkg.Files {
 		name := pkg.Fset.Position(f.Package).Filename
@@ -105,13 +200,10 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		files = append(files, f)
 	}
 
-	known := make(map[string]bool, len(analyzers))
-	for _, a := range analyzers {
-		known[a.Name] = true
-	}
-	allows, diags := CollectAllows(pkg.Fset, files, known)
+	allows, diags := CollectAllows(pkg.Fset, files, s.known)
+	tracker := newAllowTracker(allows)
 
-	for _, a := range analyzers {
+	for _, a := range s.analyzers {
 		var out []Diagnostic
 		pass := &Pass{
 			Analyzer:  a,
@@ -119,12 +211,28 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     files,
 			Pkg:       pkg.Pkg,
 			TypesInfo: pkg.TypesInfo,
+			Facts:     s.Facts,
 			diags:     &out,
+			allows:    tracker,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
-		diags = append(diags, Suppress(pkg.Fset, out, allows)...)
+		diags = append(diags, tracker.suppress(pkg.Fset, out)...)
+	}
+
+	if s.ReportStale {
+		for i, a := range tracker.allows {
+			if tracker.used[i] || !s.known[a.Analyzer] {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      a.Pos,
+				Analyzer: StaleAllowName,
+				Message: "lint:allow " + a.Analyzer +
+					" suppresses nothing on the current tree; delete the stale comment",
+			})
+		}
 	}
 
 	sort.Slice(diags, func(i, j int) bool {

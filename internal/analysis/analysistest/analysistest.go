@@ -53,6 +53,32 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	}
 }
 
+// RunDeps analyzes the fixture packages in the given order through ONE
+// shared analysis.Session, so facts exported while analyzing an earlier
+// package are importable when a later one calls into it — the same
+// cross-package path the standalone loader and the vet protocol take.
+// List dependencies before dependents. Each fixture is type-checked in
+// its own session (separate FileSet, separate types.Package identities),
+// which is exactly what makes this a real test of the string-keyed fact
+// store: object pointers do not survive, keys must.
+func RunDeps(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	s := analysis.NewSession([]*analysis.Analyzer{a})
+	for _, path := range paths {
+		pkg, err := loadFixture(testdata, path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		diags, err := s.RunPackage(pkg)
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		check(t, pkg, diags)
+	}
+}
+
 type expectation struct {
 	file string
 	line int

@@ -1,0 +1,280 @@
+// Package callgraph builds the intra-package static call graph the
+// cross-function analyzers (allocfree, determinism taint) propagate
+// over. Nodes are the package's declared functions and methods; edges
+// are resolved with go/types:
+//
+//   - direct calls of package functions and methods are Static;
+//   - calls through an interface are Interface edges carrying the
+//     interface method — dynamic dispatch cannot be resolved to an
+//     implementation, so analyzers treat them conservatively (a callee
+//     is not considered reached unless separately annotated);
+//   - calls of function-typed values (variables, fields, parameters,
+//     call results) are FuncValue edges with no callee;
+//   - binding a method value (x.M used as a value, or the method
+//     expression T.M) is a MethodValue edge: the target is statically
+//     known even though the call happens later, so reachability-style
+//     propagation follows it.
+//
+// Deferred calls and go statements produce ordinary edges with the
+// Deferred/Go flags set: both run the callee on the same logical path
+// for the properties checked here. Function literals have no stable
+// identity, so their bodies are attributed to the enclosing declared
+// function — an allocation inside a closure inside runStep is
+// runStep's problem.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Kind classifies how an edge's target is reached.
+type Kind uint8
+
+const (
+	// Static is a direct call of a known function or method.
+	Static Kind = iota
+	// Interface is dynamic dispatch through an interface method; the
+	// Callee is the interface method declaration, not an implementation.
+	Interface
+	// FuncValue is a call of a function-typed value; Callee is nil.
+	FuncValue
+	// MethodValue is the creation of a bound method value (or method
+	// expression): the target is known, the call site is elsewhere.
+	MethodValue
+)
+
+// String implements fmt.Stringer for diagnostics and tests.
+func (k Kind) String() string {
+	switch k {
+	case Static:
+		return "static"
+	case Interface:
+		return "interface"
+	case FuncValue:
+		return "funcvalue"
+	case MethodValue:
+		return "methodvalue"
+	default:
+		return "unknown"
+	}
+}
+
+// An Edge is one outgoing reference from a function body.
+type Edge struct {
+	Pos      token.Pos
+	Callee   *types.Func // resolved target; nil for FuncValue
+	Kind     Kind
+	Deferred bool // the call sits in a defer statement
+	Go       bool // the call starts a goroutine
+}
+
+// A Node is one declared function or method and its outgoing edges, in
+// source order.
+type Node struct {
+	Func *types.Func
+	Decl *ast.FuncDecl
+	Out  []Edge
+}
+
+// A Graph is the package's call graph. Nodes preserves declaration
+// order so iteration is deterministic.
+type Graph struct {
+	Nodes  []*Node
+	byFunc map[*types.Func]*Node
+}
+
+// Node returns the node for fn, or nil if fn is not declared in this
+// package ('s analyzed files).
+func (g *Graph) Node(fn *types.Func) *Node {
+	if fn == nil {
+		return nil
+	}
+	return g.byFunc[fn.Origin()]
+}
+
+// Build constructs the call graph for the given type-checked files.
+func Build(info *types.Info, files []*ast.File) *Graph {
+	g := &Graph{byFunc: map[*types.Func]*Node{}}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &Node{Func: fn, Decl: fd}
+			collectEdges(info, fd.Body, node)
+			g.Nodes = append(g.Nodes, node)
+			g.byFunc[fn] = node
+		}
+	}
+	return g
+}
+
+// collectEdges walks a function body and appends every outgoing edge.
+func collectEdges(info *types.Info, body ast.Node, node *Node) {
+	// callFuns marks expressions in call position so a selector that IS
+	// the call's Fun is not double-counted as a method-value binding.
+	callFuns := map[ast.Expr]bool{}
+	// deferred / goStmt mark call expressions reached through
+	// defer / go statements (ast.Inspect visits parents first).
+	deferred := map[*ast.CallExpr]bool{}
+	goStmt := map[*ast.CallExpr]bool{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			deferred[s.Call] = true
+		case *ast.GoStmt:
+			goStmt[s.Call] = true
+		case *ast.CallExpr:
+			fun := unwrapFun(s.Fun)
+			callFuns[fun] = true
+			if tv, ok := info.Types[s.Fun]; ok && tv.IsType() {
+				return true // conversion, not a call
+			}
+			edge, ok := resolveCall(info, fun)
+			if !ok {
+				return true
+			}
+			edge.Pos = s.Lparen
+			edge.Deferred = deferred[s]
+			edge.Go = goStmt[s]
+			node.Out = append(node.Out, edge)
+		case *ast.SelectorExpr:
+			if callFuns[s] {
+				return true
+			}
+			sel, ok := info.Selections[s]
+			if !ok {
+				return true
+			}
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return true
+			}
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				kind := MethodValue
+				if types.IsInterface(sel.Recv()) {
+					// A bound interface method: target unresolved.
+					kind = Interface
+				}
+				node.Out = append(node.Out, Edge{
+					Pos:    s.Sel.Pos(),
+					Callee: fn.Origin(),
+					Kind:   kind,
+				})
+			}
+		}
+		return true
+	})
+}
+
+// unwrapFun strips parentheses and generic instantiation indices from a
+// call's Fun expression.
+func unwrapFun(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// resolveCall classifies a call by its (unwrapped) Fun expression.
+// The second result is false for builtins and type conversions, which
+// are not edges.
+func resolveCall(info *types.Info, fun ast.Expr) (Edge, bool) {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[f].(type) {
+		case *types.Func:
+			return Edge{Callee: obj.Origin(), Kind: Static}, true
+		case *types.Var:
+			return Edge{Kind: FuncValue}, true
+		default:
+			// Builtin, type name (conversion) or unresolved.
+			return Edge{}, false
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			switch obj := sel.Obj().(type) {
+			case *types.Func:
+				if types.IsInterface(sel.Recv()) {
+					return Edge{Callee: obj.Origin(), Kind: Interface}, true
+				}
+				return Edge{Callee: obj.Origin(), Kind: Static}, true
+			case *types.Var:
+				// Calling a function-typed field.
+				return Edge{Kind: FuncValue}, true
+			}
+			return Edge{}, false
+		}
+		// Qualified identifier: pkg.F or pkg.Var.
+		switch obj := info.Uses[f.Sel].(type) {
+		case *types.Func:
+			return Edge{Callee: obj.Origin(), Kind: Static}, true
+		case *types.Var:
+			return Edge{Kind: FuncValue}, true
+		}
+		return Edge{}, false
+	case *ast.FuncLit:
+		// Immediately-invoked literal: its body is already attributed to
+		// the enclosing declaration.
+		return Edge{}, false
+	default:
+		// Call of a call result or other computed function value.
+		return Edge{Kind: FuncValue}, true
+	}
+}
+
+// Reachable returns the functions reachable from roots by following
+// edges admitted by follow. A nil follow admits the statically resolved
+// kinds (Static and MethodValue), which is what hot-path propagation
+// wants: dynamic dispatch does not spread reachability. Only functions
+// declared in this graph's package are traversed; cross-package targets
+// are the caller's business (via facts).
+func (g *Graph) Reachable(roots []*types.Func, follow func(Edge) bool) map[*types.Func]bool {
+	if follow == nil {
+		follow = func(e Edge) bool { return e.Kind == Static || e.Kind == MethodValue }
+	}
+	seen := map[*types.Func]bool{}
+	var stack []*types.Func
+	for _, r := range roots {
+		if r != nil && !seen[r.Origin()] {
+			seen[r.Origin()] = true
+			stack = append(stack, r.Origin())
+		}
+	}
+	for len(stack) > 0 {
+		fn := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		node := g.byFunc[fn]
+		if node == nil {
+			continue
+		}
+		for _, e := range node.Out {
+			if e.Callee == nil || !follow(e) || seen[e.Callee] {
+				continue
+			}
+			if g.byFunc[e.Callee] == nil {
+				continue // cross-package or bodiless: not traversed here
+			}
+			seen[e.Callee] = true
+			stack = append(stack, e.Callee)
+		}
+	}
+	return seen
+}

@@ -1,0 +1,201 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+const src = `package p
+
+type T struct{}
+
+func (T) Hit() {}
+func (*T) HitPtr() {}
+
+type I interface{ Dyn() }
+
+type impl struct{}
+
+func (impl) Dyn() {}
+
+func helper() {}
+func helper2() {}
+
+func direct() {
+	helper()
+	var t T
+	t.Hit()
+	(&t).HitPtr()
+}
+
+func viaDefer() {
+	defer helper()
+}
+
+func viaGo() {
+	go helper2()
+}
+
+func viaIface(i I) {
+	i.Dyn()
+}
+
+func viaFuncValue(f func()) {
+	f()
+	g := helper
+	g()
+}
+
+func viaMethodValue() {
+	var t T
+	m := t.Hit
+	_ = m
+	me := T.Hit
+	_ = me
+}
+
+func viaIfaceMethodValue(i I) {
+	m := i.Dyn
+	_ = m
+}
+
+func chain() { direct() }
+`
+
+func buildGraph(t *testing.T) (*Graph, *types.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := new(types.Config).Check("example.com/p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(info, []*ast.File{f}), pkg
+}
+
+func nodeByName(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Func.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node %q", name)
+	return nil
+}
+
+func TestStaticAndMethodCalls(t *testing.T) {
+	g, _ := buildGraph(t)
+	n := nodeByName(t, g, "direct")
+	var names []string
+	for _, e := range n.Out {
+		if e.Kind != Static {
+			t.Errorf("direct: edge to %v has kind %v, want static", e.Callee, e.Kind)
+		}
+		names = append(names, e.Callee.Name())
+	}
+	want := []string{"helper", "Hit", "HitPtr"}
+	if len(names) != len(want) {
+		t.Fatalf("direct edges = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("direct edge %d = %s, want %s", i, names[i], want[i])
+		}
+	}
+}
+
+func TestDeferredAndGoCalls(t *testing.T) {
+	g, _ := buildGraph(t)
+	d := nodeByName(t, g, "viaDefer")
+	if len(d.Out) != 1 || !d.Out[0].Deferred || d.Out[0].Kind != Static || d.Out[0].Callee.Name() != "helper" {
+		t.Errorf("viaDefer edges = %+v, want one deferred static edge to helper", d.Out)
+	}
+	gn := nodeByName(t, g, "viaGo")
+	if len(gn.Out) != 1 || !gn.Out[0].Go || gn.Out[0].Callee.Name() != "helper2" {
+		t.Errorf("viaGo edges = %+v, want one go static edge to helper2", gn.Out)
+	}
+}
+
+func TestInterfaceDispatchIsDynamic(t *testing.T) {
+	g, _ := buildGraph(t)
+	n := nodeByName(t, g, "viaIface")
+	if len(n.Out) != 1 {
+		t.Fatalf("viaIface edges = %+v, want 1", n.Out)
+	}
+	e := n.Out[0]
+	if e.Kind != Interface || e.Callee == nil || e.Callee.Name() != "Dyn" {
+		t.Errorf("viaIface edge = %+v, want interface edge to Dyn", e)
+	}
+	// Conservative fallback: reachability from viaIface must NOT include
+	// the implementation — dynamic dispatch does not spread hotness
+	// unless the implementation is annotated in its own right.
+	reach := g.Reachable([]*types.Func{n.Func}, nil)
+	if reach[nodeByName(t, g, "Dyn").Func] {
+		t.Error("interface dispatch leaked into Reachable")
+	}
+}
+
+func TestFuncValueCalls(t *testing.T) {
+	g, _ := buildGraph(t)
+	n := nodeByName(t, g, "viaFuncValue")
+	var kinds []Kind
+	for _, e := range n.Out {
+		kinds = append(kinds, e.Kind)
+	}
+	// f() is a FuncValue call; `g := helper` binds nothing (plain ident
+	// use, not a selector), g() is another FuncValue call.
+	if len(kinds) != 2 || kinds[0] != FuncValue || kinds[1] != FuncValue {
+		t.Errorf("viaFuncValue kinds = %v, want [funcvalue funcvalue]", kinds)
+	}
+}
+
+func TestMethodValues(t *testing.T) {
+	g, _ := buildGraph(t)
+	n := nodeByName(t, g, "viaMethodValue")
+	if len(n.Out) != 2 {
+		t.Fatalf("viaMethodValue edges = %+v, want 2", n.Out)
+	}
+	for _, e := range n.Out {
+		if e.Kind != MethodValue || e.Callee.Name() != "Hit" {
+			t.Errorf("viaMethodValue edge = %+v, want methodvalue to Hit", e)
+		}
+	}
+	// Method values propagate reachability: the bound method runs later.
+	reach := g.Reachable([]*types.Func{n.Func}, nil)
+	if !reach[nodeByName(t, g, "Hit").Func] {
+		t.Error("method value binding did not propagate reachability")
+	}
+
+	// A bound interface method stays dynamic.
+	iv := nodeByName(t, g, "viaIfaceMethodValue")
+	if len(iv.Out) != 1 || iv.Out[0].Kind != Interface {
+		t.Errorf("viaIfaceMethodValue edges = %+v, want one interface edge", iv.Out)
+	}
+}
+
+func TestReachableChain(t *testing.T) {
+	g, _ := buildGraph(t)
+	chain := nodeByName(t, g, "chain")
+	reach := g.Reachable([]*types.Func{chain.Func}, nil)
+	for _, name := range []string{"chain", "direct", "helper", "Hit", "HitPtr"} {
+		if !reach[nodeByName(t, g, name).Func] {
+			t.Errorf("%s not reachable from chain", name)
+		}
+	}
+	if reach[nodeByName(t, g, "helper2").Func] {
+		t.Error("helper2 should not be reachable from chain")
+	}
+}

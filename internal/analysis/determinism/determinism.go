@@ -43,13 +43,18 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	if !analysis.PkgPathMatches(pass.Pkg.Path(), resultPackages) {
-		return nil
+	reportHere := analysis.PkgPathMatches(pass.Pkg.Path(), resultPackages)
+	if reportHere {
+		for _, f := range pass.Files {
+			checkClockAndRand(pass, f)
+			checkMapRanges(pass, f)
+		}
 	}
-	for _, f := range pass.Files {
-		checkClockAndRand(pass, f)
-		checkMapRanges(pass, f)
-	}
+	// Taint runs in EVERY package: a helper in internal/cache that reads
+	// the wall clock exports a Tainted fact even though nothing is
+	// reported there, and the result-affecting caller is charged at its
+	// call site (see taint.go).
+	propagateTaint(pass, reportHere)
 	return nil
 }
 

@@ -11,3 +11,12 @@ func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, "testdata", determinism.Analyzer,
 		"suit/internal/engine", "suit/internal/report")
 }
+
+// TestTaintPropagation drives a non-result utility package and a
+// result-affecting dependent through one session: wall-clock taint is
+// computed (silently) in the former and reported at call sites in the
+// latter, with explained sites breaking the chain.
+func TestTaintPropagation(t *testing.T) {
+	analysistest.RunDeps(t, "testdata", determinism.Analyzer,
+		"suit/internal/cache", "suit/internal/core")
+}

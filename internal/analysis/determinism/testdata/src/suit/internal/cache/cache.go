@@ -1,0 +1,29 @@
+// Package cache models a utility package OUTSIDE the result-affecting
+// list: direct wall-clock reads are not reported here, but they taint
+// the enclosing functions and the facts cross the package boundary.
+package cache
+
+import "time"
+
+// Stamp reads the wall clock; no diagnostic here (not a result
+// package), but Stamp is exported as Tainted.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Age is tainted transitively through Stamp.
+func Age(since int64) int64 {
+	return Stamp() - since
+}
+
+// Size is pure: no fact, callers stay clean.
+func Size() int {
+	return 42
+}
+
+// Watchdog's timer is explained, so the taint stops here and callers
+// are clean.
+func Watchdog() {
+	//lint:allow determinism watchdog pacing only, never reaches results
+	_ = time.Now()
+}

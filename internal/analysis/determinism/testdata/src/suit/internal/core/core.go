@@ -1,0 +1,17 @@
+// Package core models a result-affecting package calling into the
+// cache utility package: taint exported while analyzing cache surfaces
+// here, at the call sites.
+package core
+
+import "suit/internal/cache"
+
+func Step(since int64) int64 {
+	n := cache.Age(since) // want `calls cache\.Age, which is tainted by time\.Now at cache\.go:11`
+	n += int64(cache.Size())
+	cache.Watchdog()
+	return n
+}
+
+func StepAllowed(since int64) int64 {
+	return cache.Stamp() //lint:allow determinism telemetry timestamp, stripped before comparison
+}

@@ -6,9 +6,15 @@
 // dependency; the tool type-checks, analyzes, prints findings to
 // stderr and signals them with exit code 2.
 //
-// Facts are not supported — none of the suitlint analyzers need
-// cross-package state — so the .vetx output the go command expects is
-// written as an empty file.
+// Cross-package facts ride the same protocol: the go command hands the
+// tool each dependency's .vetx file (PackageVetx) and expects this
+// package's facts back (VetxOutput). Every .vetx carries the package's
+// WHOLE merged store — its own exports plus everything revived from its
+// dependencies — so facts reach transitive dependents regardless of
+// which subset of .vetx files cmd/go lists for them. VetxOnly runs
+// (dependency passes whose findings nobody wants) still execute the
+// analyzers, because the facts are the point; only the reporting is
+// skipped.
 package unitchecker
 
 import (
@@ -21,6 +27,7 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"sort"
 
 	"suit/internal/analysis"
 )
@@ -66,15 +73,13 @@ func run(cfgPath string, analyzers []*analysis.Analyzer) (int, error) {
 		return 0, fmt.Errorf("parsing %s: %v", cfgPath, err)
 	}
 
-	// The go command expects the facts file to exist even though
-	// suitlint produces no facts.
+	// The go command expects the facts file to exist on every exit path,
+	// including typecheck-failure bailouts; it is rewritten with the real
+	// store once analysis succeeds.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
 			return 0, err
 		}
-	}
-	if cfg.VetxOnly {
-		return 0, nil
 	}
 
 	fset := token.NewFileSet()
@@ -110,15 +115,48 @@ func run(cfgPath string, analyzers []*analysis.Analyzer) (int, error) {
 		return 0, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
 	}
 
-	diags, err := analysis.Run(&analysis.Package{
+	// Revive dependency facts. Iterate sorted so a (hypothetical) decode
+	// conflict resolves the same way on every run.
+	session := analysis.NewSession(analyzers)
+	session.ReportStale = true
+	depPaths := make([]string, 0, len(cfg.PackageVetx))
+	for p := range cfg.PackageVetx {
+		depPaths = append(depPaths, p)
+	}
+	sort.Strings(depPaths)
+	for _, p := range depPaths {
+		vetx, err := os.ReadFile(cfg.PackageVetx[p])
+		if err != nil {
+			return 0, fmt.Errorf("reading facts for %s: %v", p, err)
+		}
+		if err := session.Facts.Decode(vetx); err != nil {
+			return 0, fmt.Errorf("facts for %s: %v", p, err)
+		}
+	}
+
+	diags, err := session.RunPackage(&analysis.Package{
 		Fset:      fset,
 		Files:     files,
 		Pkg:       pkg,
 		TypesInfo: info,
-	}, analyzers)
+	})
 	if err != nil {
 		return 0, err
 	}
+
+	if cfg.VetxOutput != "" {
+		encoded, err := session.Facts.Encode()
+		if err != nil {
+			return 0, err
+		}
+		if err := os.WriteFile(cfg.VetxOutput, encoded, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
 	}

@@ -108,6 +108,8 @@ func (q *eventQueue) posPtr(slot int32) *int32 {
 }
 
 // set inserts or re-keys a slot.
+//
+//suit:hotpath
 func (q *eventQueue) set(slot int32, t units.Second, rank uint64) {
 	p := q.posPtr(slot)
 	if *p >= 0 {
@@ -119,13 +121,15 @@ func (q *eventQueue) set(slot int32, t units.Second, rank uint64) {
 		q.fix(i)
 		return
 	}
-	q.nodes = append(q.nodes, eqNode{t: t, rank: rank, slot: slot})
+	q.nodes = append(q.nodes, eqNode{t: t, rank: rank, slot: slot}) //lint:allow allocfree heap reaches its full slot capacity during boot; Reset retains the backing array, steady-state set re-keys in place
 	i := len(q.nodes) - 1
 	*p = int32(i)
 	q.up(i)
 }
 
 // clear removes a slot if present.
+//
+//suit:hotpath
 func (q *eventQueue) clear(slot int32) {
 	p := q.posPtr(slot)
 	if *p < 0 {
@@ -380,6 +384,8 @@ func (m *Machine) applySched(a *schedAction) {
 // machine state; vanished slots are dropped, stale cached times are
 // re-keyed and the heap re-settled. State is not mutated here, so each
 // slot is re-keyed at most once per call and the loop terminates.
+//
+//suit:hotpath
 func (m *Machine) popEvent() (units.Second, evKind, int) {
 	for {
 		if len(m.eq.nodes) == 0 {
@@ -411,19 +417,19 @@ func (m *Machine) auditQueue() error {
 			continue
 		}
 		if m.eq.spos[i] < 0 {
-			return fmt.Errorf("cpu: audit: live scheduled action %d missing from event queue", i)
+			return fmt.Errorf("cpu: audit: live scheduled action %d missing from event queue", i) //lint:allow allocfree audit failure path; m.audit is a test-only flag, never set in sweeps
 		}
 	}
 	for _, d := range m.domains {
 		for sub := subStall; sub <= subDeadline; sub++ {
 			if _, _, ok := m.evalDomainSub(d, sub); ok && m.eq.pos[m.domainSlot(d, sub)] < 0 {
-				return fmt.Errorf("cpu: audit: due domain %d sub-slot %d missing from event queue", d.id, sub)
+				return fmt.Errorf("cpu: audit: due domain %d sub-slot %d missing from event queue", d.id, sub) //lint:allow allocfree audit failure path; m.audit is a test-only flag, never set in sweeps
 			}
 		}
 	}
 	for _, c := range m.cores {
 		if _, _, ok := m.evalCore(c); ok && m.eq.pos[m.coreSlot(c)] < 0 {
-			return fmt.Errorf("cpu: audit: due core %d missing from event queue", c.id)
+			return fmt.Errorf("cpu: audit: due core %d missing from event queue", c.id) //lint:allow allocfree audit failure path; m.audit is a test-only flag, never set in sweeps
 		}
 	}
 	return nil

@@ -71,6 +71,8 @@ func (m *Machine) runInit() {
 // runStep dispatches the next event; when the machine is eligible it
 // first fast-forwards through a streak of uncontended core arrivals
 // without touching the event queue. Sets m.runDone when the run is over.
+//
+//suit:hotpath
 func (m *Machine) runStep() error {
 	if m.ffEligible && !m.linearScan && !m.noFastForward && m.schedLive == 0 {
 		m.fastForward()
@@ -79,7 +81,7 @@ func (m *Machine) runStep() error {
 		}
 	}
 	if m.stepCount >= maxSteps {
-		return errors.New("cpu: event-loop step limit exceeded")
+		return errors.New("cpu: event-loop step limit exceeded") //lint:allow allocfree constructed once on the runaway-configuration abort path
 	}
 	m.stepCount++
 	var (
@@ -97,10 +99,10 @@ func (m *Machine) runStep() error {
 		return nil
 	}
 	if t < m.now {
-		return fmt.Errorf("cpu: time went backwards: %v < %v", t, m.now)
+		return fmt.Errorf("cpu: time went backwards: %v < %v", t, m.now) //lint:allow allocfree time-regression invariant abort, not the steady state
 	}
 	if m.evLog != nil {
-		*m.evLog = append(*m.evLog, eventRecord{t: t, kind: kind, who: who})
+		*m.evLog = append(*m.evLog, eventRecord{t: t, kind: kind, who: who}) //lint:allow allocfree test-only differential-oracle log; evLog is nil in production runs
 	}
 	m.advanceTo(t)
 	switch kind {
@@ -186,6 +188,8 @@ func (m *Machine) finishRun() Result {
 // re-synced at streak exit; in between, cached heap times can only be
 // stale-early (time moves forward), which popEvent's lazy re-evaluation
 // already handles.
+//
+//suit:hotpath
 func (m *Machine) fastForward() {
 	c := m.cores[0]
 	d := m.domains[0]
@@ -239,7 +243,7 @@ func (m *Machine) fastForward() {
 		m.stepCount++
 		n++
 		if m.evLog != nil {
-			*m.evLog = append(*m.evLog, eventRecord{t: t, kind: evCoreArrive, who: 0})
+			*m.evLog = append(*m.evLog, eventRecord{t: t, kind: evCoreArrive, who: 0}) //lint:allow allocfree test-only differential-oracle log; evLog is nil in production runs
 		}
 		m.advanceTo(t)
 		if end {
@@ -253,6 +257,7 @@ func (m *Machine) fastForward() {
 		// coreArrive's execute path (minus the per-event queue sync).
 		off := m.safeOffset(d, m.now)
 		if -off > m.physMargin[op] {
+			//lint:allow allocfree faults only occur on misconfigured runs; the zero-fault steady state never appends
 			m.res.Faults = append(m.res.Faults, FaultRecord{
 				T: m.now, Core: c.id, Op: op, V: d.voltAt(m.now),
 				Margin: -off - m.cfg.Faults.PhysicalMargin(op, m.cfg.HardenedIMUL),
@@ -315,6 +320,7 @@ func (m *Machine) nextEventLinear() (units.Second, evKind, int) {
 	best := units.Second(math.Inf(1))
 	kind := evNone
 	who := -1
+	//lint:allow allocfree non-escaping closure in the test-only linear-scan reference path; production uses popEvent
 	consider := func(t units.Second, k evKind, w int) {
 		if k == evNone || t >= best && kind != evNone {
 			return
@@ -417,10 +423,10 @@ func (d *domain) recordException(t units.Second) {
 		// Lazy one-time allocation at full ring capacity: only trapping
 		// domains pay for the ring, and the first Run reaches steady
 		// state (Reset keeps the backing array, so replay is alloc-free).
-		d.exceptions = make([]units.Second, 0, excRingCap)
+		d.exceptions = make([]units.Second, 0, excRingCap) //lint:allow allocfree one-time full-capacity ring allocation; Reset keeps the backing array so replay is alloc-free
 	}
 	if len(d.exceptions) < excRingCap {
-		d.exceptions = append(d.exceptions, t)
+		d.exceptions = append(d.exceptions, t) //lint:allow allocfree fills the preallocated ring within capacity; in-place overwrite once full
 	} else {
 		d.exceptions[int(d.excTotal&(excRingCap-1))] = t
 	}
@@ -485,6 +491,7 @@ func (m *Machine) coreArrive(c *core) {
 	// must never reach this.
 	off := m.safeOffset(d, m.now)
 	if -off > m.physMargin[ev.Op] {
+		//lint:allow allocfree faults only occur on misconfigured runs; the zero-fault steady state never appends
 		m.res.Faults = append(m.res.Faults, FaultRecord{
 			T: m.now, Core: c.id, Op: ev.Op, V: d.voltAt(m.now),
 			Margin: -off - m.cfg.Faults.PhysicalMargin(ev.Op, m.cfg.HardenedIMUL),
@@ -519,6 +526,8 @@ func (m *Machine) coreArrive(c *core) {
 // totals bit-identical; the cache keys on voltGoal, which is the settled
 // voltage, so any new ramp (which changes voltGoal or voltT1) naturally
 // invalidates it.
+//
+//suit:hotpath
 func (m *Machine) advanceTo(t units.Second) {
 	dt := t - m.now
 	if dt < 0 {
@@ -533,6 +542,7 @@ func (m *Machine) advanceTo(t units.Second) {
 	if iv := m.cfg.SampleEvery; iv > 0 {
 		d0 := m.domains[0]
 		for m.nextSample <= t && len(m.res.Samples) < timelineCap {
+			//lint:allow allocfree bounded by timelineCap and gated on cfg.SampleEvery, which sweeps leave off
 			m.res.Samples = append(m.res.Samples, StateSample{
 				T: m.nextSample, F: d0.freq, V: d0.voltAt(m.nextSample), Mode: d0.mode,
 			})

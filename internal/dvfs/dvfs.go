@@ -71,7 +71,8 @@ func (c Curve) VoltageAt(f units.Hertz) units.Volt {
 	if f >= ss[len(ss)-1].F {
 		return ss[len(ss)-1].V
 	}
-	i := sort.Search(len(ss), func(i int) bool { return ss[i].F >= f }) // ss[i-1].F < f <= ss[i].F
+	// Binary search for ss[i-1].F < f <= ss[i].F.
+	i := sort.Search(len(ss), func(i int) bool { return ss[i].F >= f }) //lint:allow allocfree non-escaping predicate closure; sort.Search does not retain it, so it stays on the stack
 	lo, hi := ss[i-1], ss[i]
 	t := float64(f-lo.F) / float64(hi.F-lo.F)
 	return lo.V + units.Volt(t)*(hi.V-lo.V)

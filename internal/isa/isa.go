@@ -184,7 +184,7 @@ var byName = func() map[string]Opcode {
 // indicates a corrupted trace or programming error.
 func Lookup(op Opcode) Info {
 	if int(op) >= NumOpcodes {
-		panic(fmt.Sprintf("isa: opcode %d out of range", op))
+		panic(fmt.Sprintf("isa: opcode %d out of range", op)) //lint:allow allocfree panic formatting on the corrupted-trace invariant; unreachable for validated traces
 	}
 	return infos[op]
 }

@@ -149,7 +149,7 @@ type Integrator struct {
 // be silently absorbed into energy totals.
 func (i *Integrator) Add(p units.Watt, dt units.Second) {
 	if dt < 0 {
-		panic(fmt.Sprintf("power: negative duration %v", dt))
+		panic(fmt.Sprintf("power: negative duration %v", dt)) //lint:allow allocfree panic formatting on a time-ordering invariant; never taken on the steady path
 	}
 	i.energy += units.Energy(p, dt)
 	i.elapsed += dt
@@ -200,7 +200,7 @@ func (r *RAPL) Unit() units.Joule { return r.unit }
 // Deposit adds energy to the meter.
 func (r *RAPL) Deposit(e units.Joule) {
 	if e < 0 {
-		panic(fmt.Sprintf("power: negative energy deposit %v", e))
+		panic(fmt.Sprintf("power: negative energy deposit %v", e)) //lint:allow allocfree panic formatting on a negative-energy invariant; never taken on the steady path
 	}
 	r.residue += e
 	ticks := uint64(float64(r.residue) / float64(r.unit))
