@@ -14,7 +14,20 @@
 //	GET  /v1/sweeps/{id}           status + result
 //	GET  /v1/sweeps/{id}/events    progress stream (Server-Sent Events)
 //	GET  /metrics                  Prometheus text format
-//	GET  /healthz                  liveness + drain state
+//	GET  /healthz                  pure liveness
+//	GET  /readyz                   readiness (503 while draining)
+//
+// Distributed execution: every daemon also serves the work-distribution
+// API (POST /v1/work/claim, /v1/work/{lease}/heartbeat,
+// /v1/work/{lease}/result) that suitworker processes pull leased,
+// fingerprint-addressed scenario units from. Workers are optional: with
+// none connected every sweep runs in-process exactly as before, and
+// because results are content-addressed, local and remote execution
+// store byte-identical files. A worker that crashes mid-unit simply
+// stops heartbeating; its lease expires (-lease-ttl) and the unit is
+// reassigned, or — after -remote-attempts failed leases — falls back to
+// local execution. -remote-only forbids that fallback for daemons that
+// must not simulate locally.
 //
 // Backpressure: the admission queue is bounded (-queue); a submission
 // that finds it full gets 429 with a Retry-After estimate.
@@ -43,6 +56,7 @@ import (
 	"syscall"
 	"time"
 
+	"suit/internal/dist"
 	"suit/internal/service"
 )
 
@@ -64,6 +78,10 @@ func run() int {
 		retries      = flag.Int("retries", 1, "per-scenario retry budget; 0 disables retries, as suitsweep defaults to (same derived seed every attempt)")
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-scenario watchdog timeout (0 disables)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long running sweeps may finish after SIGTERM before their runs are cancelled")
+
+		leaseTTL       = flag.Duration("lease-ttl", 3*time.Second, "work-unit lease TTL: a worker that stops heartbeating for this long loses the unit to reassignment")
+		remoteAttempts = flag.Int("remote-attempts", 3, "failed leases a work unit may burn before falling back to local execution")
+		remoteOnly     = flag.Bool("remote-only", false, "never execute scenarios in-process; wait for workers instead (readiness degrades while the dispatcher is tripped)")
 	)
 	flag.CommandLine.Init("suitd", flag.ContinueOnError)
 	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
@@ -81,6 +99,11 @@ func run() int {
 		QueueDepth:    *queueDepth,
 		Retries:       *retries,
 		JobTimeout:    *jobTimeout,
+		Dist: dist.Config{
+			LeaseTTL:       *leaseTTL,
+			RemoteAttempts: *remoteAttempts,
+			RemoteOnly:     *remoteOnly,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "suitd:", err)

@@ -1,0 +1,87 @@
+// Command suitworker is a crash-safe execution worker for suitd's
+// distributed sweep tier: it pulls leased, fingerprint-addressed
+// scenario units from a daemon over HTTP (-daemon), simulates them with
+// the same deterministic core a local run would use, and posts
+// digest-protected results back.
+//
+// Robustness model: the worker holds no durable state. If it crashes,
+// is SIGKILLed, or partitions away mid-unit, its lease simply expires
+// at the daemon and the unit is reassigned — at-least-once delivery is
+// safe because every result is a pure function of its work unit, so
+// duplicates verify against the recorded digest and dedup. A worker
+// whose leases keep failing is quarantined by the daemon; stopping one
+// (SIGTERM/SIGINT) just stops polling and lets in-flight leases lapse.
+//
+// Any number of workers — including zero — leave the daemon's stored
+// results byte-identical; workers only change where the cycles burn.
+//
+// Example:
+//
+//	suitworker -daemon http://127.0.0.1:8470 -slots 4
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"suit/internal/dist"
+)
+
+const (
+	exitOK    = 0
+	exitUsage = 1
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		daemon  = flag.String("daemon", "", "base URL of the suitd daemon to pull work from; required")
+		id      = flag.String("id", "", "worker ID for lease accounting and quarantine (default host/pid derived)")
+		slots   = flag.Int("slots", runtime.GOMAXPROCS(0), "units simulated concurrently")
+		poll    = flag.Duration("poll", 250*time.Millisecond, "pause between empty claim polls")
+		retries = flag.Int("result-attempts", 4, "delivery attempts per result on transport/5xx failures (the daemon dedups duplicates by digest)")
+	)
+	flag.CommandLine.Init("suitworker", flag.ContinueOnError)
+	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
+		return exitUsage
+	}
+	if *daemon == "" {
+		fmt.Fprintln(os.Stderr, "suitworker: -daemon is required (e.g. http://127.0.0.1:8470)")
+		return exitUsage
+	}
+	if *id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	w, err := dist.NewWorker(dist.WorkerConfig{
+		BaseURL:        *daemon,
+		ID:             *id,
+		Slots:          *slots,
+		PollInterval:   *poll,
+		ResultAttempts: *retries,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "suitworker:", err)
+		return exitUsage
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "suitworker: %s pulling from %s (%d slots)\n", *id, *daemon, *slots)
+	w.Run(ctx) //nolint:errcheck // the only error is the shutdown signal's
+	st := w.Stats()
+	fmt.Fprintf(os.Stderr, "suitworker: stopping after %d claims, %d completed, %d errors\n",
+		st.Claims, st.Completed, st.Errors)
+	return exitOK
+}

@@ -31,6 +31,7 @@ var resultPackages = []string{
 	"internal/strategy",
 	"internal/core",
 	"internal/engine",
+	"internal/dist",
 	"internal/service",
 }
 

@@ -23,6 +23,7 @@ var errorPackages = []string{
 	"internal/workload",
 	"internal/report",
 	"internal/msr",
+	"internal/dist",
 	"internal/service",
 }
 

@@ -1,0 +1,97 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// maxResultBytes bounds a result post's body. Outcomes are small JSON
+// documents (a few KB with a timeline); 4 MiB is generous headroom, and
+// the cap turns a runaway or malicious body into a clean 413.
+const maxResultBytes = 4 << 20
+
+// Register mounts the work-distribution endpoints on mux (Go 1.22
+// method+pattern routing):
+//
+//	POST /v1/work/claim              → claim one leased unit (204 if none)
+//	POST /v1/work/{lease}/heartbeat  → extend a lease (410 if gone)
+//	POST /v1/work/{lease}/result     → deliver a result (202/200/409/410/422)
+func (d *Dispatcher) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/work/claim", d.handleClaim)
+	mux.HandleFunc("POST /v1/work/{lease}/heartbeat", d.handleHeartbeat)
+	mux.HandleFunc("POST /v1/work/{lease}/result", d.handleResult)
+}
+
+func (d *Dispatcher) handleClaim(w http.ResponseWriter, r *http.Request) {
+	var req ClaimRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad claim body: "+err.Error())
+		return
+	}
+	if req.WorkerID == "" {
+		httpError(w, http.StatusBadRequest, "claim must name a worker_id")
+		return
+	}
+	grant, ok := d.Claim(req.WorkerID)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent) // nothing to do; poll again
+		return
+	}
+	writeJSON(w, http.StatusOK, grant)
+}
+
+func (d *Dispatcher) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	ttl, ok := d.Heartbeat(r.PathValue("lease"))
+	if !ok {
+		// Gone: expired and reassigned, or the job was abandoned. The
+		// worker should stop computing this unit.
+		httpError(w, http.StatusGone, "lease gone")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"ttl_ms": ttl.Milliseconds()})
+}
+
+func (d *Dispatcher) handleResult(w http.ResponseWriter, r *http.Request) {
+	var msg ResultMsg
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxResultBytes)).Decode(&msg); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "result body exceeds the limit")
+			return
+		}
+		httpError(w, http.StatusBadRequest, "bad result body: "+err.Error())
+		return
+	}
+	status, err := d.Result(r.PathValue("lease"), msg)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrGone):
+			httpError(w, http.StatusGone, err.Error())
+		case errors.Is(err, ErrConflict):
+			httpError(w, http.StatusConflict, err.Error())
+		case errors.Is(err, ErrBadDigest), errors.Is(err, ErrMismatch):
+			httpError(w, http.StatusUnprocessableEntity, err.Error())
+		default:
+			httpError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	code := http.StatusOK
+	if status == "accepted" {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, ResultAck{Status: status})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -48,6 +48,23 @@ import (
 // the computation finishes on its own).
 type RunFunc[S, R any] func(ctx context.Context, spec S, seed uint64) (R, error)
 
+// RemoteFunc offers one job to an external execution tier — a pool of
+// pull-based workers behind internal/dist's dispatcher — before the
+// engine falls back to running it locally. It receives the job's
+// canonical fingerprint (the content address of the work) and the seed
+// the engine derived for it, so a remote executor reproduces exactly
+// what a local attempt would compute.
+//
+// The contract is built for graceful degradation: handled=false means
+// the remote tier declined the job (no live workers, circuit breaker
+// tripped, remote attempts exhausted) and the engine MUST run it
+// locally — declining is never an error. handled=true returns the
+// remote result (or, only when the context was cancelled or the tier is
+// configured remote-only, a real error). Because results are
+// content-addressed and byte-identical wherever they run, routing a job
+// remotely can change timing but never bytes.
+type RemoteFunc[S, R any] func(ctx context.Context, spec S, key string, seed uint64) (r R, handled bool, err error)
+
 // FailurePolicy selects what Run does when a job fails after all
 // retries.
 type FailurePolicy int
@@ -139,6 +156,9 @@ type Stats struct {
 	// — the single-flight dedup that makes N concurrent identical
 	// submissions cost one simulation.
 	Coalesced int64
+	// Remote counts jobs executed by the remote tier (see RemoteFunc);
+	// they are included in Ran, so Ran-Remote is the local share.
+	Remote int64
 	// Elapsed is the wall-clock time spent inside Run calls.
 	Elapsed time.Duration
 }
@@ -178,6 +198,9 @@ func (s Stats) String() string {
 	if s.Coalesced > 0 {
 		out += fmt.Sprintf(", %d coalesced in flight", s.Coalesced)
 	}
+	if s.Remote > 0 {
+		out += fmt.Sprintf(", %d executed remotely", s.Remote)
+	}
 	return out
 }
 
@@ -188,6 +211,11 @@ type Engine[S, R any] struct {
 	key  func(S) string
 	run  RunFunc[S, R]
 	opts Options
+
+	// remote, when non-nil, is offered every job before the local
+	// attempt loop runs it (see RemoteFunc and SetRemote). Options
+	// cannot carry it because Options is not generic.
+	remote RemoteFunc[S, R]
 
 	sweepTemps sync.Once
 
@@ -224,6 +252,11 @@ func New[S, R any](key func(S) string, run RunFunc[S, R], opts Options) *Engine[
 	return &Engine[S, R]{key: key, run: run, opts: opts,
 		memo: make(map[string]R), flights: make(map[string]*flight[R])}
 }
+
+// SetRemote installs (or, with nil, removes) the remote-executor hook.
+// Call it before the first Run; the engine reads it without locking on
+// the job path, so installing it mid-sweep is a race.
+func (e *Engine[S, R]) SetRemote(remote RemoteFunc[S, R]) { e.remote = remote }
 
 // Stats returns a snapshot of the cumulative accounting.
 func (e *Engine[S, R]) Stats() Stats {

@@ -1,0 +1,191 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHTTPPlanDecideDeterministic: the fault decision is a pure
+// function of (key, seed) — stable across calls, sensitive to both.
+func TestHTTPPlanDecideDeterministic(t *testing.T) {
+	p := HTTPPlan{Seed: 7, Rate: 0.5}
+	keys := []string{"POST /v1/work/claim aabbccdd", "POST /v1/work/l1/result 11223344", "GET /healthz 00000000"}
+	for _, k := range keys {
+		first := p.Decide(k)
+		for i := 0; i < 10; i++ {
+			if got := p.Decide(k); got != first {
+				t.Fatalf("Decide(%q) flapped: %v then %v", k, first, got)
+			}
+		}
+	}
+	if p.Rate = 0; p.Decide(keys[0]) != HTTPNone {
+		t.Error("rate 0 must never fault")
+	}
+	p.Rate = 1
+	for _, k := range keys {
+		if p.Decide(k) == HTTPNone {
+			t.Errorf("rate 1 left %q unfaulted", k)
+		}
+	}
+	// Different seeds choose different fault sets (overwhelmingly likely
+	// across three keys and five kinds).
+	q := HTTPPlan{Seed: 8, Rate: 1}
+	same := true
+	for _, k := range keys {
+		if p.Decide(k) != q.Decide(k) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 picked identical faults for every key")
+	}
+}
+
+// newEchoServer returns a server that counts requests and echoes a
+// fixed JSON body.
+func newEchoServer(t *testing.T, body string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) //nolint:errcheck
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, body) //nolint:errcheck
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func post(t *testing.T, client *http.Client, url, body string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.GetBody = func() (io.ReadCloser, error) {
+		return io.NopCloser(strings.NewReader(body)), nil
+	}
+	return client.Do(req)
+}
+
+// TestTransportDrop: the request never reaches the server and the
+// caller sees the injected transport error.
+func TestTransportDrop(t *testing.T) {
+	srv, hits := newEchoServer(t, `{"ok":true}`)
+	tr := NewTransport(HTTPPlan{Rate: 1, Kinds: []HTTPKind{HTTPDrop}, Times: -1}, nil)
+	_, err := post(t, &http.Client{Transport: tr}, srv.URL+"/v1/x", `{"a":1}`)
+	if err == nil || !strings.Contains(err.Error(), "request dropped") {
+		t.Fatalf("err = %v, want the injected drop", err)
+	}
+	if hits.Load() != 0 {
+		t.Errorf("server saw %d requests, want 0", hits.Load())
+	}
+	if st := tr.Stats(); st.Drops != 1 {
+		t.Errorf("Stats.Drops = %d, want 1", st.Drops)
+	}
+}
+
+// TestTransportErr500: the request reaches the server (its effect
+// happens) but the caller sees a 500 — the ack-lost fault that forces
+// at-least-once delivery.
+func TestTransportErr500(t *testing.T) {
+	srv, hits := newEchoServer(t, `{"ok":true}`)
+	tr := NewTransport(HTTPPlan{Rate: 1, Kinds: []HTTPKind{HTTPErr500}, Times: -1}, nil)
+	resp, err := post(t, &http.Client{Transport: tr}, srv.URL+"/v1/x", `{"a":1}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("server saw %d requests, want 1 (the effect must happen)", hits.Load())
+	}
+}
+
+// TestTransportTruncate: the body is torn below Content-Length so the
+// reader hits unexpected EOF.
+func TestTransportTruncate(t *testing.T) {
+	srv, _ := newEchoServer(t, `{"padding":"0123456789012345678901234567890123456789"}`)
+	tr := NewTransport(HTTPPlan{Rate: 1, Kinds: []HTTPKind{HTTPTruncate}, Times: -1}, nil)
+	resp, err := post(t, &http.Client{Transport: tr}, srv.URL+"/v1/x", `{"a":1}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_, err = io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("reading torn body: err = %v, want unexpected EOF", err)
+	}
+}
+
+// TestTransportDup: the server processes the request twice; the caller
+// sees one clean response.
+func TestTransportDup(t *testing.T) {
+	srv, hits := newEchoServer(t, `{"ok":true}`)
+	tr := NewTransport(HTTPPlan{Rate: 1, Kinds: []HTTPKind{HTTPDup}, Times: -1}, nil)
+	resp, err := post(t, &http.Client{Transport: tr}, srv.URL+"/v1/x", `{"a":1}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"ok":true`)) {
+		t.Fatalf("dup response = %d %q, want a clean 200", resp.StatusCode, body)
+	}
+	if hits.Load() != 2 {
+		t.Errorf("server saw %d requests, want 2", hits.Load())
+	}
+}
+
+// TestTransportDelay: the request is delivered after the pause.
+func TestTransportDelay(t *testing.T) {
+	srv, hits := newEchoServer(t, `{"ok":true}`)
+	tr := NewTransport(HTTPPlan{Rate: 1, Kinds: []HTTPKind{HTTPDelay}, Times: -1, Delay: 20 * time.Millisecond}, nil)
+	start := time.Now()
+	resp, err := post(t, &http.Client{Transport: tr}, srv.URL+"/v1/x", `{"a":1}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("delivered after %s, want >= the 20ms injected delay", elapsed)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("server saw %d requests, want 1", hits.Load())
+	}
+}
+
+// TestTransportTimesBound: after Times faulted deliveries a request key
+// passes through clean — the guarantee that retried requests terminate.
+func TestTransportTimesBound(t *testing.T) {
+	srv, hits := newEchoServer(t, `{"ok":true}`)
+	tr := NewTransport(HTTPPlan{Rate: 1, Kinds: []HTTPKind{HTTPDrop}, Times: 2}, nil)
+	client := &http.Client{Transport: tr}
+	for i := 0; i < 2; i++ {
+		if _, err := post(t, client, srv.URL+"/v1/x", `{"a":1}`); err == nil {
+			t.Fatalf("attempt %d was not dropped", i+1)
+		}
+	}
+	resp, err := post(t, client, srv.URL+"/v1/x", `{"a":1}`)
+	if err != nil {
+		t.Fatalf("attempt 3 should pass clean: %v", err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 1 {
+		t.Errorf("server saw %d requests, want exactly the clean one", hits.Load())
+	}
+	// A different body is a different logical request with its own
+	// budget.
+	if _, err := post(t, client, srv.URL+"/v1/x", `{"a":2}`); err == nil {
+		t.Error("fresh request key was not dropped")
+	}
+}

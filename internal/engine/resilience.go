@@ -97,8 +97,24 @@ func RetryDelay(base time.Duration, key string, attempt int) time.Duration {
 // panic-contained and watchdog-bounded, every attempt reusing the same
 // derived seed so retries cannot change results. It returns the number
 // of attempts made alongside the result or final error.
+//
+// When a remote hook is installed the job is offered there first; a
+// handled job returns without local work, a declined one (no live
+// workers, tripped dispatcher, exhausted remote attempts) falls through
+// to the local attempt loop — the graceful-degradation contract that
+// keeps a daemon with zero workers exactly as capable as before.
 func (e *Engine[S, R]) executeJob(ctx context.Context, j *job[S]) (R, int, error) {
 	seed := DeriveSeed(e.opts.BaseSeed, j.key)
+	if e.remote != nil {
+		if r, handled, err := e.remote(ctx, j.spec, j.key, seed); handled {
+			if err == nil {
+				e.mu.Lock()
+				e.stats.Remote++
+				e.mu.Unlock()
+			}
+			return r, 1, err
+		}
+	}
 	var r R
 	var err error
 	for attempt := 0; ; attempt++ {

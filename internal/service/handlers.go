@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -56,7 +57,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 //	GET  /v1/sweeps/{id}           status + result
 //	GET  /v1/sweeps/{id}/events    progress stream (SSE)
 //	GET  /metrics                  Prometheus text format
-//	GET  /healthz                  liveness + drain state
+//	GET  /healthz                  pure liveness (200 while the process serves)
+//	GET  /readyz                   readiness (503 while draining or remote-only with a tripped dispatcher)
+//
+// plus the distributed-work endpoints suitworker pulls from
+// (POST /v1/work/claim, /v1/work/{lease}/heartbeat, /v1/work/{lease}/result).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
@@ -65,6 +70,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.dist.Register(mux)
 	return mux
 }
 
@@ -73,6 +80,15 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			// Distinguish "your spec is too large" from "your spec is
+			// malformed": the former needs a smaller body, not a fixed one.
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
+				Error: fmt.Sprintf("spec body exceeds the %d-byte limit", maxSpecBytes),
+			})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad spec: " + err.Error()})
 		return
 	}
@@ -166,12 +182,29 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.WriteMetrics(w)
 }
 
+// handleHealthz is pure liveness: 200 for as long as the process can
+// serve HTTP, draining or not. Restart-deciding orchestration probes
+// this; killing a daemon *because* it is draining gracefully would
+// defeat the drain.
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	status := "ok"
-	code := http.StatusOK
-	if s.Draining() {
-		status = "draining"
-		code = http.StatusServiceUnavailable
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ok"})
+}
+
+// handleReadyz is readiness: whether this daemon should receive new
+// work. 503 while draining, and — for a remote-only daemon that cannot
+// fall back locally — while the work dispatcher's breaker is tripped.
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ready", http.StatusOK
+	switch {
+	case s.Draining():
+		status, code = "draining", http.StatusServiceUnavailable
+	case s.cfg.Dist.RemoteOnly && s.dist.Tripped():
+		// With local fallback (the default) a tripped dispatcher costs
+		// nothing: sweeps run in-process. Remote-only daemons have no such
+		// floor, so a tripped breaker means submissions would stall.
+		status, code = "dispatcher tripped", http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, struct {
 		Status string `json:"status"`

@@ -236,8 +236,24 @@ func TestHTTPDraining(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("POST while draining: status %d, want 503", resp.StatusCode)
 	}
-	if resp := getJSON(t, ts, "/healthz", nil); resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("healthz while draining: status %d, want 503", resp.StatusCode)
+	// Liveness and readiness split: a draining daemon is alive (killing
+	// it would defeat the graceful drain) but not ready for new work.
+	if resp := getJSON(t, ts, "/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz while draining: status %d, want 200 (pure liveness)", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts, "/readyz", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining: status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestHTTPReadyz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var body struct {
+		Status string `json:"status"`
+	}
+	resp := getJSON(t, ts, "/readyz", &body)
+	if resp.StatusCode != http.StatusOK || body.Status != "ready" {
+		t.Errorf("readyz: %d %q, want 200 ready", resp.StatusCode, body.Status)
 	}
 }
 

@@ -44,7 +44,34 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		{"suitd_engine_cache_hit_rate", "Fraction of unique scenarios served from a cache layer.", "gauge", st.HitRate()},
 		{"suitd_engine_run_seconds_total", "Wall-clock seconds spent inside engine runs.", "counter", st.Elapsed.Seconds()},
 		{"suitd_engine_throughput_scenarios_per_second", "Simulated scenarios per second of engine run time.", "gauge", st.Throughput()},
+		{"suitd_engine_remote_total", "Scenarios executed by remote workers (within ran).", "counter", float64(st.Remote)},
+		{"suitd_store_quarantined_total", "Corrupt result-store entries moved aside.", "counter", float64(s.store.Quarantined())},
 	}
+	ds := s.DistStats()
+	tripped := 0.0
+	if ds.Tripped {
+		tripped = 1
+	}
+	samples = append(samples,
+		sample{"suitd_dist_offered_total", "Work units offered to the remote worker tier.", "counter", float64(ds.Offered)},
+		sample{"suitd_dist_completed_total", "Work units completed by workers with a verified digest.", "counter", float64(ds.Completed)},
+		sample{"suitd_dist_local_fallbacks_total", "Offers that declined to local execution (no workers, tripped breaker, exhausted attempts).", "counter", float64(ds.LocalFallbacks)},
+		sample{"suitd_dist_leases_total", "Leases granted to workers.", "counter", float64(ds.Leases)},
+		sample{"suitd_dist_leases_expired_total", "Leases expired without a heartbeat (worker crash or partition).", "counter", float64(ds.Expired)},
+		sample{"suitd_dist_reassigned_total", "Units re-queued after a failed lease.", "counter", float64(ds.Reassigned)},
+		sample{"suitd_dist_exhausted_total", "Units whose remote attempt budget ran out.", "counter", float64(ds.Exhausted)},
+		sample{"suitd_dist_error_results_total", "Worker-reported failures (fingerprint mismatch, failed simulation).", "counter", float64(ds.ErrorResults)},
+		sample{"suitd_dist_duplicates_total", "At-least-once re-deliveries that verified against the recorded digest.", "counter", float64(ds.Duplicates)},
+		sample{"suitd_dist_conflicts_total", "Duplicate deliveries that did NOT match the recorded digest (determinism violation; always 0 in a healthy fleet).", "counter", float64(ds.Conflicts)},
+		sample{"suitd_dist_bad_digests_total", "Results rejected for a torn or garbled body.", "counter", float64(ds.BadDigests)},
+		sample{"suitd_dist_worker_quarantines_total", "Workers quarantined after consecutive lease failures.", "counter", float64(ds.Quarantines)},
+		sample{"suitd_dist_trips_total", "Dispatcher circuit-breaker trips.", "counter", float64(ds.Trips)},
+		sample{"suitd_dist_pending_units", "Units queued for workers right now.", "gauge", float64(ds.PendingUnits)},
+		sample{"suitd_dist_leased_units", "Units out under a live lease right now.", "gauge", float64(ds.LeasedUnits)},
+		sample{"suitd_dist_live_workers", "Workers seen within the liveness window.", "gauge", float64(ds.LiveWorkers)},
+		sample{"suitd_dist_quarantined_workers", "Workers currently quarantined.", "gauge", float64(ds.QuarantinedWorkers)},
+		sample{"suitd_dist_tripped", "Whether the dispatcher breaker is open (1) or closed (0).", "gauge", tripped},
+	)
 	for _, m := range samples {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", m.name, m.help, m.name, m.typ, m.name, m.value); err != nil {
 			return err

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"suit/internal/core"
+	"suit/internal/dist"
 	"suit/internal/engine"
 )
 
@@ -40,6 +41,12 @@ type Config struct {
 	Retries int
 	// JobTimeout arms the engine's per-scenario watchdog (0 disables).
 	JobTimeout time.Duration
+	// Dist configures the distributed tier: every daemon runs a work
+	// dispatcher (costless with zero workers — the first offer declines
+	// to local execution), and suitworker processes pull leased units
+	// from it over /v1/work. The zero value uses the dispatcher's
+	// defaults; Dist.RemoteOnly forbids local fallback.
+	Dist dist.Config
 
 	// runJob overrides the engine's run function. Test-only: package
 	// tests wrap core.RunJob to gate execution deterministically; the
@@ -90,6 +97,7 @@ type Service struct {
 	cfg   Config
 	eng   *engine.Engine[core.Scenario, core.Outcome]
 	store *resultStore
+	dist  *dist.Dispatcher
 
 	runCtx     context.Context
 	cancelRuns context.CancelFunc
@@ -149,6 +157,13 @@ func New(cfg Config) (*Service, error) {
 		JobTimeout:   cfg.JobTimeout,
 		Label:        "suitd",
 	})
+	// The distributed tier: the engine offers every uncached scenario to
+	// the dispatcher first; with no live workers (or a tripped breaker)
+	// the offer declines instantly and the scenario runs locally as
+	// before. Results are content-addressed, so remote and local
+	// execution store byte-identical files.
+	s.dist = dist.NewDispatcher(cfg.Dist)
+	s.eng.SetRemote(s.dist.Execute)
 	for i := 0; i < cfg.ExecJobs; i++ {
 		s.execWG.Add(1)
 		go s.worker()
@@ -158,6 +173,13 @@ func New(cfg Config) (*Service, error) {
 
 // EngineStats exposes the engine's cumulative accounting for /metrics.
 func (s *Service) EngineStats() engine.Stats { return s.eng.Stats() }
+
+// DistStats exposes the work dispatcher's accounting for /metrics.
+func (s *Service) DistStats() dist.Stats { return s.dist.Stats() }
+
+// Dispatcher exposes the distributed-work dispatcher (for its HTTP
+// endpoints and readiness probing).
+func (s *Service) Dispatcher() *dist.Dispatcher { return s.dist }
 
 // Inflight is the engine's currently-executing scenario count.
 func (s *Service) Inflight() int { return s.eng.Inflight() }
@@ -287,6 +309,10 @@ func (s *Service) Drain(ctx context.Context) error {
 		<-done
 	}
 	s.cancelRuns()
+	// Executors are stopped; shut the dispatcher so in-flight remote
+	// offers resolve (to local fallback — already moot) and its janitor
+	// exits. Workers polling a drained daemon just see empty claims.
+	s.dist.Close()
 	return interrupted
 }
 

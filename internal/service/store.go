@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 )
 
 // resultStore persists completed Results as content-addressed JSON
@@ -13,10 +14,15 @@ import (
 // trust model: each entry stores the spec fingerprint it answers plus
 // an integrity digest over (fingerprint, result bytes), so a garbled or
 // foreign file reads as a miss — recomputation, never a wrong result.
-// Writes go through temp-file + rename so concurrent readers and a
-// killed daemon never observe torn entries.
+// Like the engine cache, a provably corrupt file is self-healed out of
+// the way: renamed to <name>.quarantined so the recomputed result can
+// land cleanly while the evidence survives for inspection. Writes go
+// through temp-file + rename so concurrent readers and a killed daemon
+// never observe torn entries.
 type resultStore struct {
 	dir string
+
+	quarantined atomic.Int64
 }
 
 // storeEntry is the on-disk record.
@@ -47,25 +53,47 @@ func (s *resultStore) path(id string) string {
 
 // get loads a stored result for (id, fingerprint). Any mismatch —
 // missing file, bad JSON, foreign fingerprint, failed digest — is a
-// plain miss.
+// miss; a provably corrupt file (undecodable, or failing its own
+// integrity digest) is additionally quarantined so the slot is free for
+// the recomputed entry. A foreign entry whose digest is self-consistent
+// is left alone: it is a valid result for some other spec, not damage.
 func (s *resultStore) get(id, fingerprint string) (*Result, bool) {
-	data, err := os.ReadFile(s.path(id))
+	path := s.path(id)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
 	}
 	var ent storeEntry
 	if err := json.Unmarshal(data, &ent); err != nil {
+		s.quarantine(path)
 		return nil, false
 	}
-	if ent.Fingerprint != fingerprint || ent.Sum != storeSum(ent.Fingerprint, ent.Result) {
+	if ent.Sum != storeSum(ent.Fingerprint, ent.Result) {
+		s.quarantine(path)
+		return nil, false
+	}
+	if ent.Fingerprint != fingerprint {
 		return nil, false
 	}
 	var r Result
 	if err := json.Unmarshal(ent.Result, &r); err != nil {
+		s.quarantine(path)
 		return nil, false
 	}
 	return &r, true
 }
+
+// quarantine moves a corrupt entry aside (best effort — removal if the
+// rename fails), mirroring the engine cache's self-heal.
+func (s *resultStore) quarantine(path string) {
+	if err := os.Rename(path, path+".quarantined"); err != nil {
+		os.Remove(path)
+	}
+	s.quarantined.Add(1)
+}
+
+// Quarantined reports how many corrupt entries this store moved aside.
+func (s *resultStore) Quarantined() int64 { return s.quarantined.Load() }
 
 // put persists a result. Best-effort like the engine cache: a full
 // disk only disables reuse across restarts, it never fails the job.

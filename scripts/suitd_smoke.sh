@@ -4,20 +4,34 @@
 # submission is a cache hit via /metrics, then SIGTERM and require a
 # clean exit-0 drain inside the budget.
 #
+# Phase 2 is the distributed kill-a-worker e2e: a second daemon with a
+# fresh state dir executes the same spec through two suitworker
+# processes, one of which is SIGKILLed mid-sweep; the sweep must still
+# complete (lease reassignment or local fallback) and the stored result
+# file must be byte-identical to the single-process daemon's.
+#
 # Run from the repository root: scripts/suitd_smoke.sh
 set -euo pipefail
 
 WORK=$(mktemp -d)
 ADDR=127.0.0.1:8470
 BASE="http://$ADDR"
+ADDR2=127.0.0.1:8471
+BASE2="http://$ADDR2"
 PID=""
+PID2=""
+W1=""
+W2=""
 cleanup() {
-  [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+  for p in "$PID" "$PID2" "$W1" "$W2"; do
+    [ -n "$p" ] && kill "$p" 2>/dev/null || true
+  done
   rm -rf "$WORK"
 }
 trap cleanup EXIT
 
 go build -o "$WORK/suitd" ./cmd/suitd
+go build -o "$WORK/suitworker" ./cmd/suitworker
 "$WORK/suitd" -addr "$ADDR" -state "$WORK/state" -drain-timeout 30s &
 PID=$!
 
@@ -29,6 +43,9 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 [ -n "$up" ] || { echo "suitd never answered /healthz" >&2; exit 1; }
+
+# Readiness is split from liveness: a freshly booted daemon is both.
+curl -fsS "$BASE/readyz" >/dev/null || { echo "/readyz not ready on a fresh daemon" >&2; exit 1; }
 
 SPEC='{"instructions":50000,"benches":["VLC","557.xz"],"params":[{"p_dl_us":30,"p_ts_us":450,"p_ec":3,"p_df":14},{"p_dl_us":50,"p_ts_us":450,"p_ec":2,"p_df":9}]}'
 
@@ -77,3 +94,89 @@ wait "$PID" || RC=$?
 PID=""
 [ "$RC" = 0 ] || { echo "suitd exited $RC after SIGTERM, want 0" >&2; exit 1; }
 echo "suitd smoke OK: served 1 sweep, deduped the repeat (hits=$HITS), drained cleanly"
+
+# ---------------------------------------------------------------------
+# Phase 2: distributed kill-a-worker e2e. A second daemon (fresh state,
+# short lease TTL) runs the SAME spec through two pull workers; one
+# worker is SIGKILLed while leases are out. The sweep must complete via
+# lease reassignment (or local fallback) and the stored result file
+# must be byte-identical to the single-process daemon's.
+# ---------------------------------------------------------------------
+"$WORK/suitd" -addr "$ADDR2" -state "$WORK/state2" -lease-ttl 1s -drain-timeout 30s &
+PID2=$!
+up=""
+for _ in $(seq 1 100); do
+  if curl -fsS "$BASE2/readyz" >/dev/null 2>&1; then up=1; break; fi
+  if ! kill -0 "$PID2" 2>/dev/null; then echo "second suitd died during startup" >&2; exit 1; fi
+  sleep 0.1
+done
+[ -n "$up" ] || { echo "second suitd never became ready" >&2; exit 1; }
+
+"$WORK/suitworker" -daemon "$BASE2" -id smoke-w1 -slots 1 -poll 50ms &
+W1=$!
+"$WORK/suitworker" -daemon "$BASE2" -id smoke-w2 -slots 1 -poll 50ms &
+W2=$!
+
+# Both workers must be live before submitting, or the engine's first
+# offers decline straight to local and nothing is distributed.
+live=""
+for _ in $(seq 1 100); do
+  live=$(curl -fsS "$BASE2/metrics" | awk '$1 == "suitd_dist_live_workers" {print $2}')
+  [ "${live:-0}" = 2 ] && break
+  sleep 0.1
+done
+[ "$live" = 2 ] || { echo "workers never registered (live=$live)" >&2; exit 1; }
+
+ID2=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$SPEC" "$BASE2/v1/sweeps" |
+  python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+[ "$ID2" = "$ID" ] || { echo "content addressing drifted: job $ID2 vs $ID" >&2; exit 1; }
+
+# SIGKILL one worker the moment leases are out — a real crash: no
+# goodbye, no result post, just a lease that stops heartbeating.
+for _ in $(seq 1 200); do
+  leases=$(curl -fsS "$BASE2/metrics" | awk '$1 == "suitd_dist_leases_total" {print $2}')
+  if [ "${leases:-0}" != 0 ] && [ "${leases:-0}" != "" ]; then break; fi
+  state=$(curl -fsS "$BASE2/v1/sweeps/$ID2" |
+    python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')
+  [ "$state" = done ] && break
+  sleep 0.05
+done
+kill -9 "$W1" 2>/dev/null || true
+wait "$W1" 2>/dev/null || true
+W1=""
+echo "SIGKILLed worker smoke-w1 (leases granted so far: ${leases:-0})"
+
+state=""
+for _ in $(seq 1 600); do
+  state=$(curl -fsS "$BASE2/v1/sweeps/$ID2" |
+    python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')
+  [ "$state" = done ] && break
+  case "$state" in
+    failed|canceled) echo "distributed job ended $state" >&2; exit 1 ;;
+  esac
+  sleep 0.2
+done
+[ "$state" = done ] || { echo "distributed job stuck in state '$state'" >&2; exit 1; }
+
+# The robustness contract, on disk: the distributed daemon's stored
+# result file is byte-identical to the single-process daemon's.
+cmp "$WORK/state/results/$ID.json" "$WORK/state2/results/$ID2.json" ||
+  { echo "distributed result file differs from the single-process one" >&2; exit 1; }
+
+M2=$(curl -fsS "$BASE2/metrics")
+COMPLETED=$(echo "$M2" | awk '$1 == "suitd_dist_completed_total" {print $2}')
+EXPIRED=$(echo "$M2" | awk '$1 == "suitd_dist_leases_expired_total" {print $2}')
+FALLBACKS=$(echo "$M2" | awk '$1 == "suitd_dist_local_fallbacks_total" {print $2}')
+CONFLICTS=$(echo "$M2" | awk '$1 == "suitd_dist_conflicts_total" {print $2}')
+[ "$CONFLICTS" = 0 ] || { echo "suitd_dist_conflicts_total = $CONFLICTS — determinism violation" >&2; exit 1; }
+echo "distributed sweep OK: remote-completed=$COMPLETED expired-leases=$EXPIRED local-fallbacks=$FALLBACKS conflicts=0"
+
+kill -TERM "$W2" 2>/dev/null || true
+wait "$W2" 2>/dev/null || true
+W2=""
+kill -TERM "$PID2"
+RC=0
+wait "$PID2" || RC=$?
+PID2=""
+[ "$RC" = 0 ] || { echo "second suitd exited $RC after SIGTERM, want 0" >&2; exit 1; }
+echo "suitd distributed smoke OK: worker killed mid-sweep, result bytes identical, clean drain"
