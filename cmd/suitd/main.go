@@ -27,7 +27,10 @@
 // stops heartbeating; its lease expires (-lease-ttl) and the unit is
 // reassigned, or — after -remote-attempts failed leases — falls back to
 // local execution. -remote-only forbids that fallback for daemons that
-// must not simulate locally.
+// must not simulate locally. Result digests prove transport integrity
+// only; on a daemon reachable beyond its worker fleet, -worker-token
+// (or $SUITD_WORKER_TOKEN) makes every /v1/work request require the
+// matching bearer token.
 //
 // Backpressure: the admission queue is bounded (-queue); a submission
 // that finds it full gets 429 with a Retry-After estimate.
@@ -82,6 +85,7 @@ func run() int {
 		leaseTTL       = flag.Duration("lease-ttl", 3*time.Second, "work-unit lease TTL: a worker that stops heartbeating for this long loses the unit to reassignment")
 		remoteAttempts = flag.Int("remote-attempts", 3, "failed leases a work unit may burn before falling back to local execution")
 		remoteOnly     = flag.Bool("remote-only", false, "never execute scenarios in-process; wait for workers instead (readiness degrades while the dispatcher is tripped)")
+		workerToken    = flag.String("worker-token", os.Getenv("SUITD_WORKER_TOKEN"), "bearer token required on /v1/work requests; empty leaves the work endpoints open to anyone who can connect (default $SUITD_WORKER_TOKEN)")
 	)
 	flag.CommandLine.Init("suitd", flag.ContinueOnError)
 	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
@@ -103,6 +107,7 @@ func run() int {
 			LeaseTTL:       *leaseTTL,
 			RemoteAttempts: *remoteAttempts,
 			RemoteOnly:     *remoteOnly,
+			WorkerToken:    *workerToken,
 		},
 	})
 	if err != nil {

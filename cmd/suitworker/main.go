@@ -11,6 +11,8 @@
 // duplicates verify against the recorded digest and dedup. A worker
 // whose leases keep failing is quarantined by the daemon; stopping one
 // (SIGTERM/SIGINT) just stops polling and lets in-flight leases lapse.
+// Daemons running with -worker-token require the matching -token (or
+// $SUITD_WORKER_TOKEN) on every request.
 //
 // Any number of workers — including zero — leave the daemon's stored
 // results byte-identical; workers only change where the cycles burn.
@@ -47,6 +49,7 @@ func run() int {
 		slots   = flag.Int("slots", runtime.GOMAXPROCS(0), "units simulated concurrently")
 		poll    = flag.Duration("poll", 250*time.Millisecond, "pause between empty claim polls")
 		retries = flag.Int("result-attempts", 4, "delivery attempts per result on transport/5xx failures (the daemon dedups duplicates by digest)")
+		token   = flag.String("token", os.Getenv("SUITD_WORKER_TOKEN"), "bearer token for daemons running with -worker-token (default $SUITD_WORKER_TOKEN)")
 	)
 	flag.CommandLine.Init("suitworker", flag.ContinueOnError)
 	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
@@ -67,6 +70,7 @@ func run() int {
 	w, err := dist.NewWorker(dist.WorkerConfig{
 		BaseURL:        *daemon,
 		ID:             *id,
+		Token:          *token,
 		Slots:          *slots,
 		PollInterval:   *poll,
 		ResultAttempts: *retries,

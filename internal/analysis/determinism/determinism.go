@@ -291,8 +291,9 @@ func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
 	}
 	switch fn.Pkg().Path() {
 	case "sort", "slices":
-		return strings.HasPrefix(fn.Name(), "Sort") || fn.Name() == "Strings" ||
-			fn.Name() == "Ints" || fn.Name() == "Float64s" || fn.Name() == "Stable"
+		return strings.HasPrefix(fn.Name(), "Sort") || strings.HasPrefix(fn.Name(), "Slice") ||
+			fn.Name() == "Strings" || fn.Name() == "Ints" || fn.Name() == "Float64s" ||
+			fn.Name() == "Stable"
 	}
 	return false
 }

@@ -71,6 +71,15 @@ func keysSorted(m map[string]int) []string {
 	return keys
 }
 
+func keysSliceSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
 func floatSum(m map[string]float64) float64 {
 	var sum float64
 	for _, v := range m {

@@ -41,8 +41,18 @@ type Config struct {
 	TripFor   time.Duration
 	// LiveWindow is how recently a worker must have polled to count as
 	// live; with zero live workers Execute declines immediately instead
-	// of parking units nobody will claim. Default 4×LeaseTTL.
+	// of parking units nobody will claim, and a unit already offered is
+	// pulled back to local execution if every worker goes silent
+	// mid-wait. Default 4×LeaseTTL.
 	LiveWindow time.Duration
+	// WorkerToken, when non-empty, requires every /v1/work request to
+	// carry "Authorization: Bearer <token>". The result digest only
+	// proves transport integrity — any client that can reach the
+	// endpoints could otherwise post forged outcomes with a matching
+	// self-computed digest — so set a token whenever the daemon is
+	// reachable beyond the worker fleet's trust boundary. Default ""
+	// (open: trust everyone who can connect).
+	WorkerToken string
 	// RemoteOnly forbids the local fallback: Execute waits for workers
 	// instead of declining, and a unit that exhausts its remote attempts
 	// fails the job instead of running locally. For fleets where the
@@ -125,6 +135,10 @@ type Stats struct {
 	// (no live workers, tripped breaker, exhausted attempts, unencodable
 	// scenario) and handed the unit back to the local engine.
 	LocalFallbacks int64
+	// NoWorkerAbandons counts the subset of LocalFallbacks where a unit
+	// already offered remotely was pulled back because every worker went
+	// silent mid-wait — the whole-fleet-crash path.
+	NoWorkerAbandons int64
 	// Leases/Expired/Reassigned/Exhausted trace the lease lifecycle;
 	// ErrorResults counts worker-reported failures (fingerprint
 	// mismatch, failed simulation).
@@ -168,6 +182,7 @@ type unit struct {
 
 type lease struct {
 	id       string
+	seq      uint64 // creation order; expiry processes leases by it
 	u        *unit
 	worker   string
 	deadline time.Time
@@ -335,21 +350,53 @@ func (d *Dispatcher) Execute(ctx context.Context, sc core.Scenario, key string, 
 		}
 	}
 
-	select {
-	case <-u.done:
-		if u.err != nil {
+	// Wait for the result — but keep watching worker liveness. Liveness
+	// was checked at offer time only; if the last worker crashes while
+	// the unit is queued (or after its lease expires), nothing will ever
+	// claim it again and no lease failure fires to exhaust its attempt
+	// budget. Without the recheck the wait would be unbounded — the
+	// remote offer runs before the engine's per-attempt JobTimeout
+	// watchdog, so nothing else caps it. Under the default config a dead
+	// fleet hands the unit back to local execution; under RemoteOnly the
+	// wait-for-workers contract holds and only ctx bounds it.
+	recheck := d.cfg.LiveWindow / 4
+	if recheck < 10*time.Millisecond {
+		recheck = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(recheck) //lint:allow determinism liveness recheck pacing for a parked offer — scheduling only, results are content-addressed
+	defer tick.Stop()
+	for {
+		select {
+		case <-u.done:
+			if u.err != nil {
+				if d.cfg.RemoteOnly {
+					return zero, true, u.err
+				}
+				d.mu.Lock()
+				d.stats.LocalFallbacks++
+				d.mu.Unlock()
+				return zero, false, nil
+			}
+			return u.res, true, nil
+		case <-ctx.Done():
+			d.abandon(u)
+			return zero, true, ctx.Err()
+		case <-tick.C:
 			if d.cfg.RemoteOnly {
-				return zero, true, u.err
+				continue
 			}
 			d.mu.Lock()
-			d.stats.LocalFallbacks++
+			// units[key] == u rules out completion (results land under
+			// this lock); a silent fleet means no claim can ever come.
+			if d.units[u.key] == u && !d.hasLiveWorkerLocked(d.cfg.now()) {
+				d.abandonLocked(u)
+				d.stats.NoWorkerAbandons++
+				d.stats.LocalFallbacks++
+				d.mu.Unlock()
+				return zero, false, nil
+			}
 			d.mu.Unlock()
-			return zero, false, nil
 		}
-		return u.res, true, nil
-	case <-ctx.Done():
-		d.abandon(u)
-		return zero, true, ctx.Err()
 	}
 }
 
@@ -363,6 +410,15 @@ func (d *Dispatcher) eligibleLocked(now time.Time) bool {
 	if now.Before(d.tripUntil) {
 		return false
 	}
+	return d.hasLiveWorkerLocked(now)
+}
+
+// hasLiveWorkerLocked: has any non-quarantined worker polled within the
+// liveness window? When false, nothing will ever claim a pending unit —
+// the signal Execute's wait loop uses to stop parking work nobody can
+// take. (A worker with a lease in flight keeps itself live through its
+// heartbeats.)
+func (d *Dispatcher) hasLiveWorkerLocked(now time.Time) bool {
 	for _, w := range d.workers {
 		if now.Before(w.quarantinedUntil) {
 			continue
@@ -380,6 +436,10 @@ func (d *Dispatcher) eligibleLocked(now time.Time) bool {
 func (d *Dispatcher) abandon(u *unit) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.abandonLocked(u)
+}
+
+func (d *Dispatcher) abandonLocked(u *unit) {
 	if d.units[u.key] == u {
 		delete(d.units, u.key)
 	}
@@ -425,7 +485,7 @@ func (d *Dispatcher) Claim(workerID string) (Grant, bool) {
 		u.attempts++
 		d.seq++
 		id := fmt.Sprintf("l%08d-%s", d.seq, shortKey(u.key))
-		d.leases[id] = &lease{id: id, u: u, worker: workerID, deadline: now.Add(d.cfg.LeaseTTL)}
+		d.leases[id] = &lease{id: id, seq: d.seq, u: u, worker: workerID, deadline: now.Add(d.cfg.LeaseTTL)}
 		d.stats.Leases++
 		return Grant{LeaseID: id, TTLMillis: d.cfg.LeaseTTL.Milliseconds(), Unit: u.wire}, true
 	}
@@ -579,26 +639,39 @@ func (d *Dispatcher) janitor(interval time.Duration) {
 }
 
 // expireLeases fails every lease past its deadline, in lease-creation
-// order (the zero-padded sequence in the ID) so reassignment order is a
-// deterministic function of the expiry set, not of map iteration.
+// order (the numeric sequence stamped on the lease) so reassignment
+// order is a deterministic function of the expiry set, not of map
+// iteration. It also forgets workers gone long past the liveness
+// window: suitworker IDs embed the PID, so without pruning every
+// restart would grow the map forever.
 func (d *Dispatcher) expireLeases() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	now := d.cfg.now()
-	var expired []string
-	for id, l := range d.leases {
+	var expired []*lease
+	for _, l := range d.leases {
 		if now.After(l.deadline) {
-			expired = append(expired, id)
+			expired = append(expired, l)
 		}
 	}
-	sort.Strings(expired)
-	for _, id := range expired {
-		l := d.leases[id]
-		delete(d.leases, id)
+	sort.Slice(expired, func(i, j int) bool { return expired[i].seq < expired[j].seq })
+	for _, l := range expired {
+		delete(d.leases, l.id)
 		d.stats.Expired++
 		d.failLeaseLocked(l, now, "lease expired without heartbeat")
 	}
+	for id, w := range d.workers {
+		if now.Sub(w.lastSeen) > workerForgetAfter*d.cfg.LiveWindow && !now.Before(w.quarantinedUntil) {
+			delete(d.workers, id)
+		}
+	}
 }
+
+// workerForgetAfter, in LiveWindow multiples, is how long a silent
+// worker's state is kept before the janitor forgets it. Long enough
+// that a partitioned worker usually finds its failure history waiting
+// when it returns; a quarantined worker is never forgotten early.
+const workerForgetAfter = 4
 
 // sleepCtx pauses for d, returning false if ctx is cancelled first.
 func sleepCtx(ctx context.Context, d time.Duration) bool {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -408,6 +410,128 @@ func TestExecuteCancellation(t *testing.T) {
 	}
 	if _, ok := d.Claim("w1"); ok {
 		t.Fatal("abandoned unit was still claimable")
+	}
+}
+
+// TestNoLiveWorkersAbandonsToLocal is the whole-fleet-crash case: the
+// only worker claims a unit and dies. The lease expires and the unit is
+// requeued, but nothing will ever claim it again — Execute must notice
+// the silent fleet and hand the unit back to local execution instead of
+// waiting forever.
+func TestNoLiveWorkersAbandonsToLocal(t *testing.T) {
+	d := newTestDispatcher(t, Config{LeaseTTL: 30 * time.Millisecond, RemoteAttempts: 100, QuarantineAfter: 100, TripAfter: 100})
+	d.Claim("w1")
+	sc := testScenario(t, 13)
+	vch := startExecute(d, sc)
+	claimSoon(t, d, "w1")
+	// w1 crashes: no heartbeat, no result, no further polls. The lease
+	// expires and requeues the unit, then liveness lapses fleet-wide.
+	v := waitVerdict(t, vch)
+	if v.handled || v.err != nil {
+		t.Fatalf("verdict %+v, want a decline to local execution", v)
+	}
+	st := d.Stats()
+	if st.NoWorkerAbandons != 1 || st.LocalFallbacks != 1 {
+		t.Errorf("NoWorkerAbandons=%d LocalFallbacks=%d, want 1/1", st.NoWorkerAbandons, st.LocalFallbacks)
+	}
+	if st.Expired != 1 {
+		t.Errorf("Expired=%d, want the crashed worker's lease expired", st.Expired)
+	}
+	// The abandoned unit must be gone, not claimable by a late worker.
+	if _, ok := d.Claim("late"); ok {
+		t.Fatal("abandoned unit was still claimable")
+	}
+}
+
+// TestNoLiveWorkersAbandonsQueuedUnit: same fleet-crash detection for a
+// unit that was queued but never claimed — the worker registered, the
+// offer went remote, and then every worker vanished before claiming.
+func TestNoLiveWorkersAbandonsQueuedUnit(t *testing.T) {
+	d := newTestDispatcher(t, Config{LeaseTTL: 30 * time.Millisecond, RemoteAttempts: 100, QuarantineAfter: 100, TripAfter: 100})
+	d.Claim("w1") // registers w1 as live; w1 never polls again
+	sc := testScenario(t, 14)
+	v := waitVerdict(t, startExecute(d, sc))
+	if v.handled || v.err != nil {
+		t.Fatalf("verdict %+v, want a decline to local execution", v)
+	}
+	if st := d.Stats(); st.NoWorkerAbandons != 1 {
+		t.Errorf("NoWorkerAbandons=%d, want 1", st.NoWorkerAbandons)
+	}
+}
+
+// TestStaleWorkersPruned: the janitor forgets workers silent far past
+// the liveness window (suitworker IDs embed the PID, so restart churn
+// would otherwise grow the map forever) — but never a worker still
+// serving out a quarantine.
+func TestStaleWorkersPruned(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1_700_000_000, 0)
+	cfg := Config{nowFn: func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}}
+	d := newTestDispatcher(t, cfg)
+	advance := func(by time.Duration) {
+		mu.Lock()
+		now = now.Add(by)
+		mu.Unlock()
+	}
+
+	d.Claim("old")
+	d.mu.Lock()
+	d.workers["quarantined"] = &workerState{lastSeen: now, quarantinedUntil: now.Add(time.Hour)}
+	d.mu.Unlock()
+
+	// Far past the forget horizon, but inside the quarantine window.
+	advance(workerForgetAfter*d.cfg.LiveWindow + time.Second)
+	d.Claim("fresh")
+	d.expireLeases()
+	d.mu.Lock()
+	_, hasOld := d.workers["old"]
+	_, hasQuarantined := d.workers["quarantined"]
+	_, hasFresh := d.workers["fresh"]
+	d.mu.Unlock()
+	if hasOld || !hasQuarantined || !hasFresh {
+		t.Fatalf("after prune: old=%v quarantined=%v fresh=%v, want false/true/true", hasOld, hasQuarantined, hasFresh)
+	}
+
+	// Once the quarantine has passed and silence continues, it goes too.
+	advance(time.Hour + workerForgetAfter*d.cfg.LiveWindow)
+	d.expireLeases()
+	d.mu.Lock()
+	_, hasQuarantined = d.workers["quarantined"]
+	d.mu.Unlock()
+	if hasQuarantined {
+		t.Fatal("quarantine-expired stale worker survived the prune")
+	}
+}
+
+// TestExpiredLeaseOrderFollowsSeq: reassignment order is the numeric
+// creation sequence, not the formatted lease ID — beyond 8 digits the
+// zero padding overflows and string order diverges from creation order.
+func TestExpiredLeaseOrderFollowsSeq(t *testing.T) {
+	d := newTestDispatcher(t, Config{RemoteAttempts: 10, QuarantineAfter: 100, TripAfter: 100})
+	past := time.Unix(1_700_000_000, 0) // long before any real now()
+	mk := func(key string, seq uint64) {
+		u := &unit{key: key, attempts: 1, done: make(chan struct{})}
+		id := fmt.Sprintf("l%08d-%s", seq, key)
+		d.units[key] = u
+		d.leases[id] = &lease{id: id, seq: seq, u: u, worker: "w", deadline: past}
+	}
+	d.mu.Lock()
+	mk("second", 100_000_000) // "l100000000-…" sorts before "l99999999-…"
+	mk("first", 99_999_999)
+	d.mu.Unlock()
+	d.expireLeases()
+	d.mu.Lock()
+	var order []string
+	for _, u := range d.pending {
+		order = append(order, u.key)
+	}
+	d.mu.Unlock()
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("reassignment order = %v, want [first second] (creation-sequence order)", order)
 	}
 }
 

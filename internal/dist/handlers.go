@@ -1,9 +1,12 @@
 package dist
 
 import (
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strings"
 )
 
 // maxResultBytes bounds a result post's body. Outcomes are small JSON
@@ -17,10 +20,36 @@ const maxResultBytes = 4 << 20
 //	POST /v1/work/claim              → claim one leased unit (204 if none)
 //	POST /v1/work/{lease}/heartbeat  → extend a lease (410 if gone)
 //	POST /v1/work/{lease}/result     → deliver a result (202/200/409/410/422)
+//
+// With Config.WorkerToken set, every endpoint additionally answers 401
+// unless the request carries the matching bearer token.
 func (d *Dispatcher) Register(mux *http.ServeMux) {
-	mux.HandleFunc("POST /v1/work/claim", d.handleClaim)
-	mux.HandleFunc("POST /v1/work/{lease}/heartbeat", d.handleHeartbeat)
-	mux.HandleFunc("POST /v1/work/{lease}/result", d.handleResult)
+	mux.HandleFunc("POST /v1/work/claim", d.auth(d.handleClaim))
+	mux.HandleFunc("POST /v1/work/{lease}/heartbeat", d.auth(d.handleHeartbeat))
+	mux.HandleFunc("POST /v1/work/{lease}/result", d.auth(d.handleResult))
+}
+
+// auth gates a handler behind Config.WorkerToken. The digest on a
+// result only proves the body survived transport intact; it says
+// nothing about who computed it, so authenticity has to come from the
+// connection — this token, or the network boundary when it is empty.
+// Tokens are compared as SHA-256 digests in constant time.
+func (d *Dispatcher) auth(h http.HandlerFunc) http.HandlerFunc {
+	token := d.cfg.WorkerToken
+	if token == "" {
+		return h
+	}
+	want := sha256.Sum256([]byte(token))
+	return func(w http.ResponseWriter, r *http.Request) {
+		presented, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		got := sha256.Sum256([]byte(presented))
+		if !ok || subtle.ConstantTimeCompare(got[:], want[:]) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="suitd work distribution"`)
+			httpError(w, http.StatusUnauthorized, "missing or invalid worker token")
+			return
+		}
+		h(w, r)
+	}
 }
 
 func (d *Dispatcher) handleClaim(w http.ResponseWriter, r *http.Request) {

@@ -23,6 +23,10 @@ type WorkerConfig struct {
 	BaseURL string
 	// ID names this worker to the dispatcher (quarantine is per-ID).
 	ID string
+	// Token is sent as "Authorization: Bearer <token>" on every request;
+	// required when the daemon runs with a worker token, ignored by an
+	// open daemon. Default "".
+	Token string
 	// Slots is how many units run concurrently. Default 1.
 	Slots int
 	// PollInterval is the pause after an empty claim. Default 250ms.
@@ -302,6 +306,9 @@ func (w *Worker) post(ctx context.Context, url string, body []byte) (*http.Respo
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if w.cfg.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+w.cfg.Token)
+	}
 	// GetBody lets fault-injecting transports replay the request for
 	// duplicated deliveries (and net/http use it on redirects/retries).
 	req.GetBody = func() (io.ReadCloser, error) {

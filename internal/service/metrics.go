@@ -56,6 +56,7 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		sample{"suitd_dist_offered_total", "Work units offered to the remote worker tier.", "counter", float64(ds.Offered)},
 		sample{"suitd_dist_completed_total", "Work units completed by workers with a verified digest.", "counter", float64(ds.Completed)},
 		sample{"suitd_dist_local_fallbacks_total", "Offers that declined to local execution (no workers, tripped breaker, exhausted attempts).", "counter", float64(ds.LocalFallbacks)},
+		sample{"suitd_dist_no_worker_abandons_total", "Offered units pulled back to local execution because every worker went silent mid-wait.", "counter", float64(ds.NoWorkerAbandons)},
 		sample{"suitd_dist_leases_total", "Leases granted to workers.", "counter", float64(ds.Leases)},
 		sample{"suitd_dist_leases_expired_total", "Leases expired without a heartbeat (worker crash or partition).", "counter", float64(ds.Expired)},
 		sample{"suitd_dist_reassigned_total", "Units re-queued after a failed lease.", "counter", float64(ds.Reassigned)},

@@ -102,7 +102,8 @@ echo "suitd smoke OK: served 1 sweep, deduped the repeat (hits=$HITS), drained c
 # lease reassignment (or local fallback) and the stored result file
 # must be byte-identical to the single-process daemon's.
 # ---------------------------------------------------------------------
-"$WORK/suitd" -addr "$ADDR2" -state "$WORK/state2" -lease-ttl 1s -drain-timeout 30s &
+TOKEN=smoke-worker-secret
+"$WORK/suitd" -addr "$ADDR2" -state "$WORK/state2" -lease-ttl 1s -worker-token "$TOKEN" -drain-timeout 30s &
 PID2=$!
 up=""
 for _ in $(seq 1 100); do
@@ -112,9 +113,15 @@ for _ in $(seq 1 100); do
 done
 [ -n "$up" ] || { echo "second suitd never became ready" >&2; exit 1; }
 
-"$WORK/suitworker" -daemon "$BASE2" -id smoke-w1 -slots 1 -poll 50ms &
+# The work endpoints require the worker token: an unauthenticated claim
+# must bounce with 401 (a digest proves integrity, not authenticity).
+CODE=$(curl -sS -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+  -d '{"worker_id":"intruder"}' "$BASE2/v1/work/claim")
+[ "$CODE" = 401 ] || { echo "tokenless claim got HTTP $CODE, want 401" >&2; exit 1; }
+
+"$WORK/suitworker" -daemon "$BASE2" -id smoke-w1 -token "$TOKEN" -slots 1 -poll 50ms &
 W1=$!
-"$WORK/suitworker" -daemon "$BASE2" -id smoke-w2 -slots 1 -poll 50ms &
+"$WORK/suitworker" -daemon "$BASE2" -id smoke-w2 -token "$TOKEN" -slots 1 -poll 50ms &
 W2=$!
 
 # Both workers must be live before submitting, or the engine's first
