@@ -12,7 +12,15 @@
 //     to eliminate;
 //   - with -compare BASELINE.json, a smoke-sweep throughput below 85%
 //     of the baseline report's points/s fails the run, so the committed
-//     baseline pins a trajectory every PR must hold.
+//     baseline pins a trajectory every PR must hold;
+//   - also with -compare, any hot-path benchmark whose min ns/op
+//     exceeds 125% of its baseline entry fails the run (benchmarks
+//     absent from the baseline are skipped, so adding one never
+//     requires editing history).
+//
+// Each sweep leg's report records the mid-ramp integration memo's
+// hit/miss/eviction counters and hit rates (ramp_memo), parsed from
+// suitsweep's stderr telemetry.
 //
 // Usage:
 //
@@ -28,6 +36,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"os/exec"
@@ -49,15 +58,32 @@ type benchStat struct {
 	MaxBytesOp  float64 `json:"max_bytes_per_op"`
 }
 
+// rampMemoStat records the mid-ramp integration memo's effectiveness
+// for one sweep leg, parsed from suitsweep's stderr telemetry line.
+// Rates are hits/(hits+misses); cold sweeps sit near zero (no endpoint
+// recurrence — the speedup there is the exponent-specialized kernel),
+// warm Reset replays near one.
+type rampMemoStat struct {
+	PairHits      uint64  `json:"pair_hits"`
+	PairMisses    uint64  `json:"pair_misses"`
+	PairEvictions uint64  `json:"pair_evictions"`
+	PowHits       uint64  `json:"pow_hits"`
+	PowMisses     uint64  `json:"pow_misses"`
+	PowEvictions  uint64  `json:"pow_evictions"`
+	PairHitRate   float64 `json:"pair_hit_rate"`
+	PowHitRate    float64 `json:"pow_hit_rate"`
+}
+
 // sweepStat is the end-to-end throughput of a cold smoke sweep: the
 // full 240-parameter × 5-workload grid (1200 scenario points) at a
 // reduced instruction count.
 type sweepStat struct {
-	Points       int     `json:"points"`
-	Instructions uint64  `json:"instructions_per_point"`
-	Seconds      float64 `json:"seconds"`
-	PointsPerSec float64 `json:"points_per_sec"`
-	Workers      int     `json:"workers"`
+	Points       int           `json:"points"`
+	Instructions uint64        `json:"instructions_per_point"`
+	Seconds      float64       `json:"seconds"`
+	PointsPerSec float64       `json:"points_per_sec"`
+	Workers      int           `json:"workers"`
+	RampMemo     *rampMemoStat `json:"ramp_memo,omitempty"`
 }
 
 type report struct {
@@ -163,6 +189,46 @@ func run() int {
 // run must hold: below 85% (a >15% regression) the gate fails.
 const regressionFloor = 0.85
 
+// nsCeiling is the per-benchmark time budget relative to the baseline:
+// a hot-path benchmark whose min ns/op exceeds 125% of the committed
+// baseline's fails the gate. Looser than the sweep floor because 1x
+// micro-benchmark repetitions are noisier than a 1200-point wall-clock
+// measurement.
+const nsCeiling = 1.25
+
+// gateBenchmarks gates each measured benchmark's min ns/op against the
+// baseline report. A benchmark missing from the baseline is noted and
+// skipped (new benchmarks must not require a baseline edit to land);
+// unusable values — zero, negative, NaN, Inf — fail loudly on either
+// side rather than producing a vacuous ceiling.
+func gateBenchmarks(path string, base, cur []benchStat) error {
+	baseline := make(map[string]benchStat, len(base))
+	for _, b := range base {
+		baseline[b.Name] = b
+	}
+	for _, c := range cur {
+		b, ok := baseline[c.Name]
+		if !ok {
+			fmt.Printf("compare (bench): %s has no baseline in %s; skipped\n", c.Name, path)
+			continue
+		}
+		if math.IsInf(b.MinNsPerOp, 0) || !(b.MinNsPerOp > 0) {
+			return fmt.Errorf("baseline %s in %s has unusable ns/op %v; refusing a vacuous gate", c.Name, path, b.MinNsPerOp)
+		}
+		if math.IsInf(c.MinNsPerOp, 0) || !(c.MinNsPerOp > 0) {
+			return fmt.Errorf("this run's %s has unusable ns/op %v; refusing a vacuous gate", c.Name, c.MinNsPerOp)
+		}
+		ceiling := b.MinNsPerOp * nsCeiling
+		fmt.Printf("compare (bench): %-44s %12.0f ns/op vs baseline %12.0f (ceiling %.0f = +25%%)\n",
+			c.Name, c.MinNsPerOp, b.MinNsPerOp, ceiling)
+		if c.MinNsPerOp > ceiling {
+			return fmt.Errorf("%s regressed >25%%: %.0f ns/op > ceiling %.0f (baseline %.0f in %s)",
+				c.Name, c.MinNsPerOp, ceiling, b.MinNsPerOp, path)
+		}
+	}
+	return nil
+}
+
 // checkThroughput rejects a sweep stat whose points/s cannot gate
 // anything: missing, zero, negative, NaN or Inf. A corrupt baseline
 // used to slip through as floor = 0.85 × 0, making the gate vacuous —
@@ -210,6 +276,9 @@ func compareBaseline(path string, rep *report) error {
 	var base report
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if err := gateBenchmarks(path, base.Benchmarks, rep.Benchmarks); err != nil {
+		return err
 	}
 	if rep.Sweep == nil && rep.SweepUnbatched == nil {
 		return fmt.Errorf("this run skipped the smoke sweep (-skip-sweep); cannot compare against %s", path)
@@ -325,7 +394,10 @@ func runSmokeSweep(instr uint64, workers int, batch bool) (*sweepStat, error) {
 		"-batch="+strconv.FormatBool(batch),
 		"-j", strconv.Itoa(workers))
 	sweep.Stdout = nil // ranking discarded; determinism is tested elsewhere
-	sweep.Stderr = os.Stderr
+	// Tee stderr: the operator still sees suitsweep's progress, and the
+	// harness parses the rampmemo telemetry line out of the copy.
+	var errBuf bytes.Buffer
+	sweep.Stderr = io.MultiWriter(os.Stderr, &errBuf)
 	start := time.Now()
 	if err := sweep.Run(); err != nil {
 		return nil, fmt.Errorf("suitsweep smoke run: %w", err)
@@ -339,5 +411,51 @@ func runSmokeSweep(instr uint64, workers int, batch bool) (*sweepStat, error) {
 		Seconds:      elapsed,
 		PointsPerSec: float64(points) / elapsed,
 		Workers:      workers,
+		RampMemo:     parseRampMemoLine(&errBuf),
 	}, nil
+}
+
+// parseRampMemoLine extracts the memo counters from suitsweep's stderr
+// telemetry line:
+//
+//	suitsweep: rampmemo pair_hits=12 pair_misses=34 ... pow_evictions=0
+//
+// Returns nil when the line is absent (older binary) — telemetry is
+// best-effort and never fails the harness.
+func parseRampMemoLine(buf *bytes.Buffer) *rampMemoStat {
+	sc := bufio.NewScanner(buf)
+	for sc.Scan() {
+		line, ok := strings.CutPrefix(sc.Text(), "suitsweep: rampmemo ")
+		if !ok {
+			continue
+		}
+		vals := map[string]uint64{}
+		for _, kv := range strings.Fields(line) {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				continue
+			}
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				continue
+			}
+			vals[k] = n
+		}
+		st := &rampMemoStat{
+			PairHits:      vals["pair_hits"],
+			PairMisses:    vals["pair_misses"],
+			PairEvictions: vals["pair_evictions"],
+			PowHits:       vals["pow_hits"],
+			PowMisses:     vals["pow_misses"],
+			PowEvictions:  vals["pow_evictions"],
+		}
+		if t := st.PairHits + st.PairMisses; t > 0 {
+			st.PairHitRate = float64(st.PairHits) / float64(t)
+		}
+		if t := st.PowHits + st.PowMisses; t > 0 {
+			st.PowHitRate = float64(st.PowHits) / float64(t)
+		}
+		return st
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"math"
 	"os"
 	"path/filepath"
@@ -160,5 +161,84 @@ func TestCompareBaselineSkippedSweep(t *testing.T) {
 	rep := &report{}
 	if err := compareBaseline(path, rep); err == nil {
 		t.Error("report without any sweep measurement accepted")
+	}
+}
+
+// The per-benchmark ns/op ceiling: regressions beyond +25% fail, new
+// benchmarks without a baseline entry are skipped, and unusable values
+// on either side are hard errors rather than vacuous ceilings.
+func TestGateBenchmarks(t *testing.T) {
+	base := []benchStat{
+		{Name: "BenchmarkMachineHotPath/dense-trap", MinNsPerOp: 1000},
+		{Name: "BenchmarkMachineHotPath/sparse-trap", MinNsPerOp: 100},
+	}
+
+	ok := []benchStat{
+		{Name: "BenchmarkMachineHotPath/dense-trap", MinNsPerOp: 1000 * nsCeiling * 0.99},
+		{Name: "BenchmarkMachineHotPath/sparse-trap", MinNsPerOp: 90},
+		{Name: "BenchmarkMachineHotPath/brand-new", MinNsPerOp: 5e9}, // no baseline: skipped
+	}
+	if err := gateBenchmarks("BASE.json", base, ok); err != nil {
+		t.Fatalf("healthy benchmarks failed the gate: %v", err)
+	}
+
+	slow := []benchStat{
+		{Name: "BenchmarkMachineHotPath/dense-trap", MinNsPerOp: 1000 * nsCeiling * 1.01},
+	}
+	if err := gateBenchmarks("BASE.json", base, slow); err == nil {
+		t.Error("regression beyond the ceiling passed the gate")
+	} else if !strings.Contains(err.Error(), "dense-trap") {
+		t.Errorf("error should name the benchmark, got: %v", err)
+	}
+
+	for _, bad := range []float64{0, -5, math.NaN(), math.Inf(1)} {
+		b := []benchStat{{Name: "x", MinNsPerOp: bad}}
+		c := []benchStat{{Name: "x", MinNsPerOp: 100}}
+		if err := gateBenchmarks("BASE.json", b, c); err == nil {
+			t.Errorf("unusable baseline ns/op %v accepted", bad)
+		}
+		if err := gateBenchmarks("BASE.json", c, b); err == nil {
+			t.Errorf("unusable current ns/op %v accepted", bad)
+		}
+	}
+}
+
+// compareBaseline runs the benchmark gate before the sweep legs.
+func TestCompareBaselineGatesBenchmarks(t *testing.T) {
+	path := writeBaseline(t, `{
+		"benchmarks":[{"name":"BenchmarkMachineHotPath/dense-trap","min_ns_per_op":1000}],
+		"sweep":{"points_per_sec":400},
+		"sweep_unbatched":{"points_per_sec":250}}`)
+	rep := goodReport()
+	rep.Benchmarks = []benchStat{{Name: "BenchmarkMachineHotPath/dense-trap", MinNsPerOp: 2000}}
+	if err := compareBaseline(path, rep); err == nil {
+		t.Error("benchmark regression passed compareBaseline")
+	}
+	rep.Benchmarks[0].MinNsPerOp = 1100
+	if err := compareBaseline(path, rep); err != nil {
+		t.Errorf("benchmark within ceiling failed compareBaseline: %v", err)
+	}
+}
+
+func TestParseRampMemoLine(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("suitsweep: 1200 jobs (1200 unique), 1200 ran, 0 memo + 0 disk hits (0.0% hit rate), 590.4 jobs/s\n")
+	buf.WriteString("suitsweep: rampmemo pair_hits=25 pair_misses=75 pair_evictions=3 pow_hits=40 pow_misses=160 pow_evictions=9\n")
+	st := parseRampMemoLine(&buf)
+	if st == nil {
+		t.Fatal("telemetry line not parsed")
+	}
+	if st.PairHits != 25 || st.PairMisses != 75 || st.PairEvictions != 3 ||
+		st.PowHits != 40 || st.PowMisses != 160 || st.PowEvictions != 9 {
+		t.Fatalf("counters wrong: %+v", st)
+	}
+	if st.PairHitRate != 0.25 || st.PowHitRate != 0.2 {
+		t.Fatalf("hit rates wrong: %+v", st)
+	}
+
+	var empty bytes.Buffer
+	empty.WriteString("suitsweep: 10 jobs\n")
+	if parseRampMemoLine(&empty) != nil {
+		t.Error("absent telemetry line should yield nil, not a zero struct")
 	}
 }

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"suit/internal/core"
+	"suit/internal/cpu"
 	"suit/internal/dvfs"
 	"suit/internal/engine"
 	"suit/internal/metrics"
@@ -140,6 +141,7 @@ func run() int {
 		top        = flag.Int("top", 10, "how many settings to print (>= 1)")
 		workers    = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
 		batch      = flag.Bool("batch", true, "share trace artifacts across points and co-step run/base machines; -batch=false forces fully independent points (identical output, slower)")
+		rampMemo   = flag.Bool("rampmemo", true, "memoize mid-ramp integration (pair-keyed segment memo + exponent-specialized Pow kernel); -rampmemo=false takes the reference path (identical output, slower)")
 		cacheDir   = flag.String("cache", "", "directory for the on-disk result cache (reused across runs)")
 		retries    = flag.Int("retries", 0, "per-job retry budget for transient failures (same derived seed on every attempt)")
 		onError    = flag.String("on-error", "fail", "failure policy: 'fail' stops at the first failed job, 'continue' finishes the sweep and reports failures")
@@ -202,6 +204,7 @@ func run() int {
 	defer stop()
 	core.SetRunContext(ctx)
 	core.SetBatchedExecution(*batch)
+	core.SetRampMemo(*rampMemo)
 
 	var cp *engine.Checkpoint
 	if *cacheDir != "" {
@@ -268,6 +271,9 @@ func run() int {
 		fmt.Printf("Table 7 reference: 𝒜&𝒞 30 µs/450 µs/3/14; ℬ 700 µs/14 ms/4/9\n")
 	}
 	fmt.Fprintf(os.Stderr, "suitsweep: %s\n", core.EngineStats())
+	rm := cpu.RampMemoStatsNow()
+	fmt.Fprintf(os.Stderr, "suitsweep: rampmemo pair_hits=%d pair_misses=%d pair_evictions=%d pow_hits=%d pow_misses=%d pow_evictions=%d\n",
+		rm.PairHits, rm.PairMisses, rm.PairEvictions, rm.PowHits, rm.PowMisses, rm.PowEvictions)
 	if len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "suitsweep: %d scenarios failed; their grid points were dropped from the ranking:\n", len(failed))
 		for _, k := range failed {

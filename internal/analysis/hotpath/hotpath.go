@@ -21,9 +21,31 @@ var hotPackages = []string{"internal/cpu"}
 // Analyzer flags math.Pow calls in the simulator hot path.
 var Analyzer = &analysis.Analyzer{
 	Name: "hotpath",
-	Doc: "flag math.Pow in internal/cpu's per-event code; the constant-voltage fast path " +
-		"makes the slow path exceptional, so each call needs //lint:allow hotpath <reason>",
+	Doc: "flag math.Pow in internal/cpu's per-event code; the sanctioned pow-kernel/memo " +
+		"helpers (powKernel, rampMemo, newPowKernel) replicate math.Pow bit-for-bit and may " +
+		"call it freely — every other call needs //lint:allow hotpath <reason>",
 	Run: run,
+}
+
+// sanctioned reports whether fd is one of the pow-kernel/memo helpers
+// that exist precisely to wrap math.Pow: methods on powKernel or
+// rampMemo (the exponent-specialized kernel and the ramp memo, whose
+// math.Pow calls are the deliberate, bit-identical fallback ladder) and
+// the kernel constructor. Calls inside them are the replacement for
+// per-event math.Pow, not a reintroduction of it.
+func sanctioned(fd *ast.FuncDecl) bool {
+	if fd.Name.Name == "newPowKernel" {
+		return true
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && (id.Name == "powKernel" || id.Name == "rampMemo")
 }
 
 func run(pass *analysis.Pass) error {
@@ -31,21 +53,27 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && sanctioned(fd) {
+				continue
 			}
-			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "math" || fn.Name() != "Pow" {
+			ast.Inspect(decl, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "math" || fn.Name() != "Pow" {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"math.Pow on a per-event path; route it through the ramp memo's "+
+						"exponent-specialized kernel (rampMemo.pow), keep it behind the "+
+						"settled-ramp voltage cache (refreshVoltCache), or explain with "+
+						"//lint:allow hotpath <reason> why this site is off the steady state")
 				return true
-			}
-			pass.Reportf(sel.Pos(),
-				"math.Pow on a per-event path; keep it behind the settled-ramp voltage cache "+
-					"(refreshVoltCache) or explain with //lint:allow hotpath <reason> why this "+
-					"site is off the steady state")
-			return true
-		})
+			})
+		}
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"suit/internal/cpu"
@@ -126,6 +127,14 @@ var imulCache sync.Map // string → float64
 func IMULOverheadFor(b workload.Benchmark) (float64, error) {
 	if v, ok := imulCache.Load(b.Name); ok {
 		return v.(float64), nil
+	}
+	if bits, ok := imulBaked[imulMixKey(b)]; ok {
+		// Constant-folded study result for a shipped mix (see
+		// imultable.go); bit-identical to the live computation below by
+		// the table's guard test.
+		s := math.Float64frombits(bits)
+		imulCache.Store(b.Name, s)
+		return s, nil
 	}
 	s, err := uarch.Slowdown(uarch.DefaultConfig(), b.Mix(), 200_000, 1, 4)
 	if err != nil {
@@ -288,6 +297,7 @@ func Run(s Scenario) (Outcome, error) {
 		Seed:           s.Seed,
 		RecordTimeline: s.RecordTimeline,
 		SampleEvery:    s.SampleEvery,
+		NoRampMemo:     !rampMemoEnabled(),
 		// Artifact traces were validated once at generation; re-walking
 		// them per machine would cost more than a sweep point's stepping.
 		TrustedTraces: shared,

@@ -1,0 +1,24 @@
+package core
+
+import "sync/atomic"
+
+// Process-wide toggle for the algebraic mid-ramp integration memo
+// (internal/cpu's pair-keyed segment memo and exponent-specialized Pow
+// kernel). On by default; suitsweep -rampmemo=false flips it off so the
+// retained reference path voltPowIntegralsRef can be timed and diffed.
+// Either setting produces bit-identical results — the knob trades only
+// speed — so unlike SetBatchedExecution there is no cache state to
+// reset when it flips.
+var rampMemoOff atomic.Bool
+
+// SetRampMemo enables or disables the mid-ramp integration memo for
+// machines built by subsequent Run calls. Safe for concurrent use;
+// machines already constructed keep the setting they were built with.
+func SetRampMemo(on bool) {
+	rampMemoOff.Store(!on)
+}
+
+// rampMemoEnabled reports the current process-wide setting.
+func rampMemoEnabled() bool {
+	return !rampMemoOff.Load()
+}

@@ -253,7 +253,7 @@ func (m *Machine) evalCore(c *core) (units.Second, evKind, bool) {
 	if remaining <= 0 {
 		return m.now, evCoreArrive, true
 	}
-	rate := c.tr.IPC * float64(d.freq) / c.rate // instructions/second
+	rate := c.effRate(d.freq) // instructions/second
 	return m.now + units.Second(remaining/rate), evCoreArrive, true
 }
 

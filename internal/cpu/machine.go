@@ -130,6 +130,15 @@ type Config struct {
 	// internal/sched).
 	DomainOf []int
 
+	// NoRampMemo disables the algebraic mid-ramp integration memo (the
+	// pair-keyed segment memo and the bits-keyed Pow memo backed by the
+	// exponent-specialized kernel): every mid-ramp segment then takes
+	// the retained reference path voltPowIntegralsRef. Outputs are
+	// bit-identical either way — this knob trades only speed, and exists
+	// so suitsweep -rampmemo=false and the differential tests can pin
+	// that equivalence.
+	NoRampMemo bool
+
 	// TrustedTraces skips per-trace validation in Validate. Set it only
 	// for traces that were already validated once — e.g. shared immutable
 	// artifacts from internal/core's trace cache, where re-walking a
@@ -305,6 +314,29 @@ type core struct {
 	// re-execute once the core unblocks.
 	retry bool
 	done  units.Second // completion time
+
+	// Effective-rate memo: IPC·f/rate is a pure function of the domain
+	// frequency (IPC and the slowdown divisor are fixed per core), so the
+	// division — evaluated once per arrival and per power segment — is
+	// cached keyed on freq alone. Pure, hence legal to keep across Reset;
+	// cleared there anyway under the reset-or-pure defense-in-depth rule.
+	rateOK   bool
+	rateFreq units.Hertz
+	rateVal  float64
+}
+
+// effRate returns the core's effective execution rate in
+// instructions/second at domain frequency f: the exact expression
+// c.tr.IPC * float64(f) / c.rate, memoized on f so the hot path pays a
+// compare instead of a divide. Identical bits by purity — same operands,
+// same operation, same result.
+func (c *core) effRate(f units.Hertz) float64 {
+	if !c.rateOK || c.rateFreq != f {
+		c.rateVal = c.tr.IPC * float64(f) / c.rate
+		c.rateFreq = f
+		c.rateOK = true
+	}
+	return c.rateVal
 }
 
 // transition is an in-flight p-state change of a domain.
@@ -419,6 +451,14 @@ type Machine struct {
 	// applied once); uncoreW the precomputed package floor in watts.
 	voltExp float64
 	uncoreW float64
+	// memo is the algebraic mid-ramp integration memo (pair-keyed
+	// segment integrands + bits-keyed Pow backed by the
+	// exponent-specialized kernel; see powkernel.go). Nil when the
+	// exponent is quadratic (no Pow on any path) or Config.NoRampMemo
+	// selects the reference path. Pure — survives Reset by design, and a
+	// Batch may point all members with the same exponent at one shared
+	// table (see NewBatch).
+	memo *rampMemo
 	// physMargin is Faults.PhysicalMargin per opcode, precomputed so the
 	// per-arrival safety monitor indexes an array instead of hashing into
 	// the model's margin map.
@@ -613,6 +653,7 @@ func (m *Machine) Reset() {
 		c.blockedUntil = 0
 		c.retry = false
 		c.done = 0
+		c.rateOK = false
 	}
 	start := m.pts.Base
 	for _, d := range m.domains {
@@ -625,7 +666,16 @@ func (m *Machine) Reset() {
 		d.deadlineAt, d.deadlineDur = 0, 0
 		d.exceptions = d.exceptions[:0]
 		d.excTotal = 0
+		// Every per-domain value cache is dropped, pure or not, under the
+		// reset-or-pure rule: vcOK (settled integrands), pvOK (the Pow
+		// chain cache — previously left populated across replays, safe
+		// only by purity) and consVOK (conservative-curve voltage). The
+		// machine-level ramp memo is the deliberate exception: it is pure
+		// by construction (keyed on raw float64 bits, backed by a
+		// deterministic kernel), so replays keep its tables warm.
 		d.vcOK = false
+		d.pvOK = false
+		d.consVOK = false
 		for _, a := range resetMSRs {
 			d.msrs.Poke(a, 0)
 		}

@@ -1,0 +1,311 @@
+package cpu
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"suit/internal/units"
+)
+
+// kernelExponents is the differential-test exponent set: the shipped
+// voltExp (3.5, the specialized pow35 kernel), other powGeneric shapes
+// (integer parts with varied bit patterns, fractional parts on both
+// sides of the 0.5 carry), and every powFallback class the constructor
+// must route back to math.Pow.
+var kernelExponents = []float64{
+	3.5, 2, 2.5, 3, 1.2, 0.7, 7.25, 10.0 / 3, 33.75, 127,
+	1, 0.5, 0, -1.5, -0.5, math.Inf(1), math.Inf(-1), math.NaN(),
+}
+
+// kernelInputs returns a differential corpus for one rng: the dense
+// realizable voltage band, a log-uniform sweep across the whole binade
+// range, ulp-stepped neighbourhoods of the algebraically special points,
+// and the explicit special values.
+func kernelInputs(rng *rand.Rand) []float64 {
+	xs := make([]float64, 0, 4096)
+	// Realizable voltages: every value the simulator can actually ask for.
+	for i := 0; i < 1200; i++ {
+		xs = append(xs, 0.4+rng.Float64())
+	}
+	// Log-uniform wide: magnitudes from ~1e-90 to ~1e+90.
+	for i := 0; i < 1200; i++ {
+		xs = append(xs, math.Exp2((rng.Float64()-0.5)*600))
+	}
+	// Ulp walks around 1, 0.5 and 2 (the mantissa/exponent split edges).
+	for _, center := range []float64{1, 0.5, 2} {
+		x := center
+		for i := 0; i < 64; i++ {
+			x = math.Nextafter(x, 2*center)
+			xs = append(xs, x)
+		}
+		x = center
+		for i := 0; i < 64; i++ {
+			x = math.Nextafter(x, 0)
+			xs = append(xs, x)
+		}
+	}
+	// Exact powers of two, including extremes near overflow/underflow.
+	for _, e := range []int{-1074, -1073, -1022, -1021, -512, -1, 0, 1, 511, 1022, 1023} {
+		xs = append(xs, math.Ldexp(1, e))
+	}
+	// Specials and out-of-regime classes.
+	xs = append(xs,
+		0, math.Copysign(0, -1), 1, -1, -0.75, -2.5,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		5e-324, 1e-310, -5e-324,
+		math.MaxFloat64, -math.MaxFloat64,
+	)
+	return xs
+}
+
+// TestPowKernelMatchesMathPow is the tentpole's bit-identity proof for
+// the exponent-specialized kernel: for every exponent shape and a wide
+// randomized input corpus, eval must return the exact bits math.Pow
+// returns.
+func TestPowKernelMatchesMathPow(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2024, 10))
+	xs := kernelInputs(rng)
+	for _, exp := range kernelExponents {
+		k := newPowKernel(exp)
+		for _, x := range xs {
+			got := k.eval(x)
+			want := math.Pow(x, exp)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("eval(%g [0x%016x], exp=%g): got %g [0x%016x], math.Pow %g [0x%016x]",
+					x, math.Float64bits(x), exp,
+					got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestPowKernelKinds pins the constructor's strategy resolution.
+func TestPowKernelKinds(t *testing.T) {
+	cases := []struct {
+		exp  float64
+		kind powKind
+	}{
+		{3.5, pow35},
+		{2.5, powGeneric}, // yi=2, yf=0.5: not the specialized shape
+		{2, powGeneric},
+		{1.2, powGeneric},
+		{7.25, powGeneric},
+		{1, powFallback},
+		{0.5, powFallback},
+		{0, powFallback},
+		{-1.5, powFallback},
+		{math.Inf(1), powFallback},
+		{math.NaN(), powFallback},
+	}
+	for _, c := range cases {
+		if k := newPowKernel(c.exp); k.kind != c.kind {
+			t.Errorf("newPowKernel(%g).kind = %d, want %d", c.exp, k.kind, c.kind)
+		}
+	}
+}
+
+// rampDomain builds a bare domain with the given linear ramp state, the
+// minimum integrate and voltPowIntegralsRef need.
+func rampDomain(volt, voltGoal float64, voltT0, voltT1 units.Second) *domain {
+	return &domain{
+		volt:     units.Volt(volt),
+		voltGoal: units.Volt(voltGoal),
+		voltT0:   voltT0,
+		voltT1:   voltT1,
+	}
+}
+
+// FuzzVoltPowIntegrals fuzzes the memoized mid-ramp integration against
+// the retained reference path: for arbitrary ramp state, query window
+// and exponent, rampMemo.integrate must return bit-identical integrals
+// to voltPowIntegralsRef — including across repeat queries that turn
+// memo hits, and including the chain-cache interplay. It also pins the
+// exp == 2 invariant ie == i2.
+func FuzzVoltPowIntegrals(f *testing.F) {
+	f.Add(0.0, 1e-6, 0.0, 1e-6, 0.95, 0.80, 3.5)
+	f.Add(1e-7, 9e-7, 0.0, 1e-6, 0.80, 0.95, 3.5)
+	f.Add(0.0, 1e-6, 2e-7, 8e-7, 1.05, 0.75, 2.0)
+	f.Add(0.0, 5e-7, 0.0, 0.0, 0.9, 0.9, 2.5)
+	f.Add(-1e-7, 1e-6, -2e-7, 1.2e-6, 0.7, 1.3, 7.25)
+	f.Fuzz(func(t *testing.T, t0, t1, vT0, vT1, volt, goal, exp float64) {
+		// Reject windows and ramps the simulator cannot produce:
+		// non-finite state, or a reversed query window.
+		for _, v := range []float64{t0, t1, vT0, vT1, volt, goal, exp} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip()
+			}
+		}
+		if t1 < t0 || vT1 < vT0 {
+			t.Skip()
+		}
+		mm := newRampMemo(exp)
+		dMemo := rampDomain(volt, goal, units.Second(vT0), units.Second(vT1))
+		dRef := rampDomain(volt, goal, units.Second(vT0), units.Second(vT1))
+		// Three rounds: cold (pair misses), warm (pair hits), and a
+		// shifted window that exercises the chain cache both paths
+		// carried out of round two.
+		windows := [][2]units.Second{
+			{units.Second(t0), units.Second(t1)},
+			{units.Second(t0), units.Second(t1)},
+			{units.Second(t1), units.Second(t1 + (t1 - t0))},
+		}
+		for round, w := range windows {
+			gi2, gie := mm.integrate(dMemo, w[0], w[1])
+			wi2, wie := dRef.voltPowIntegralsRef(w[0], w[1], exp)
+			if math.Float64bits(gi2) != math.Float64bits(wi2) ||
+				math.Float64bits(gie) != math.Float64bits(wie) {
+				t.Fatalf("round %d window [%g, %g] exp=%g: memo (%g [0x%016x], %g [0x%016x]) != ref (%g [0x%016x], %g [0x%016x])",
+					round, float64(w[0]), float64(w[1]), exp,
+					gi2, math.Float64bits(gi2), gie, math.Float64bits(gie),
+					wi2, math.Float64bits(wi2), wie, math.Float64bits(wie))
+			}
+			if exp == 2 && math.Float64bits(gie) != math.Float64bits(gi2) {
+				t.Fatalf("round %d: exp == 2 invariant violated: ie %g [0x%016x] != i2 %g [0x%016x]",
+					round, gie, math.Float64bits(gie), gi2, math.Float64bits(gi2))
+			}
+		}
+	})
+}
+
+// TestRampMemoHitsOnReplay checks the memo actually memoizes: replaying
+// the same window hits the pair table and skips every kernel call.
+func TestRampMemoHitsOnReplay(t *testing.T) {
+	mm := newRampMemo(3.5)
+	d := rampDomain(0.95, 0.80, 0, 1e-6)
+	mm.integrate(d, 0, 5e-7)
+	mm.integrate(d, 5e-7, 1e-6)
+	if mm.pairMisses == 0 {
+		t.Fatal("cold pass should miss")
+	}
+	misses, powMisses := mm.pairMisses, mm.powMisses
+	d.pvOK = false // fresh replay state, as after Machine.Reset
+	mm.integrate(d, 0, 5e-7)
+	mm.integrate(d, 5e-7, 1e-6)
+	if mm.pairMisses != misses {
+		t.Errorf("replay added %d pair misses, want 0", mm.pairMisses-misses)
+	}
+	if mm.powMisses != powMisses {
+		t.Errorf("replay added %d pow misses, want 0", mm.powMisses-powMisses)
+	}
+	if mm.pairHits == 0 {
+		t.Error("replay recorded no pair hits")
+	}
+}
+
+// TestRampMemoProbeCutoffAndRearm checks adaptive probing: a run with
+// no recurrence stops probing after the window, and arm() (runInit)
+// re-enables it so a warm replay still hits.
+func TestRampMemoProbeCutoffAndRearm(t *testing.T) {
+	mm := newRampMemo(3.5)
+	d := rampDomain(0.95, 0.80, 0, 1)
+	// memoProbeWindow distinct single-segment windows: all misses.
+	for i := 0; i < memoProbeWindow; i++ {
+		a := units.Second(float64(i) * 1e-6)
+		mm.integrate(d, a, a+5e-7)
+	}
+	if mm.pairProbe {
+		t.Fatal("pair probing still enabled after a zero-hit window")
+	}
+	stored := mm.pairMisses
+	a := units.Second(0)
+	mm.integrate(d, a, a+5e-7) // would hit, but probing is off
+	if mm.pairHits != 0 {
+		t.Fatal("disabled probe recorded a hit")
+	}
+	if mm.pairMisses != stored+1 {
+		t.Fatal("disabled probe must still count lookups as misses")
+	}
+	mm.arm()
+	mm.integrate(d, a, a+5e-7) // stored during the probe window: hits now
+	if mm.pairHits == 0 {
+		t.Fatal("re-armed probe did not hit a stored pair")
+	}
+}
+
+// TestResetClearsVoltAndPowCaches is the Reset regression test: poison
+// every per-domain value cache between two replays and require the
+// results to stay identical. Before pvOK joined vcOK in Reset's clear
+// list, the poisoned chain cache survived into the replay; with the
+// ramp memo disabled the reference path then consumed the stale Pow
+// value directly.
+func TestResetClearsVoltAndPowCaches(t *testing.T) {
+	for _, noMemo := range []bool{false, true} {
+		name := "rampmemo"
+		if noMemo {
+			name = "reference"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := testConfig(testTrace(2000, 40), testTrace(2000, 55))
+			cfg.NoRampMemo = noMemo
+			m, err := New(cfg, fvLite{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, err := m.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for round := 0; round < 2; round++ {
+				// Poison before Reset: Reset must clear all of it. pvV is
+				// set to the base operating voltage — the first ramp's
+				// actual start voltage — so a surviving chain cache would
+				// feed a wrong Pow into the first mid-ramp segment.
+				for _, d := range m.domains {
+					d.pvOK = true
+					d.pvV = float64(m.pts.Base.V)
+					d.pvP = 123.456
+					d.vcOK = true
+					d.vcGoal = d.voltGoal
+					d.vcV2 = 1e9
+					d.vcVe = -1e9
+					d.consVOK = true
+					d.consVFreq = d.freq
+					d.consV = 42
+				}
+				m.Reset()
+				got, err := m.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, first) {
+					t.Fatalf("NoRampMemo=%v round %d: replay after poisoned caches diverged from first run", noMemo, round)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchSharesRampMemo pins NewBatch's eager memo sharing: members
+// with the lead's exponent point at one table; a NoRampMemo member
+// keeps nil.
+func TestBatchSharesRampMemo(t *testing.T) {
+	cfg := testConfig(testTrace(600, 40))
+	a, err := New(cfg, fvLite{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg, fvLite{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgOff := cfg
+	cfgOff.NoRampMemo = true
+	c, err := New(cfgOff, fvLite{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBatch([]*Machine{a, b, c}); err != nil {
+		t.Fatal(err)
+	}
+	if a.memo == nil {
+		t.Fatal("lead memo not built by NewBatch")
+	}
+	if b.memo != a.memo {
+		t.Error("same-exponent member did not share the lead memo")
+	}
+	if c.memo != nil {
+		t.Error("NoRampMemo member was given a memo")
+	}
+}

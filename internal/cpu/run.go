@@ -41,6 +41,20 @@ func (m *Machine) runInit() {
 	m.runDone = false
 	m.stepCount = 0
 	m.handlerTime = 0
+	if m.voltExp != 2 && !m.cfg.NoRampMemo {
+		if m.memo == nil {
+			// Lazy: the ~100KB memo tables are built on first run (or
+			// shared in by NewBatch before this point) rather than in
+			// New, so each batched sweep point allocates one memo
+			// instead of one per member machine.
+			m.memo = newRampMemo(m.voltExp)
+		} else {
+			// Re-arm adaptive probing: a warm replay over a populated
+			// table should probe (and hit) even if the previous cold
+			// run tripped the probe cutoff.
+			m.memo.arm()
+		}
+	}
 	m.strategy.Init(controller{m})
 	// Transitions requested during Init complete instantaneously: the
 	// workload is defined to start on the strategy's initial curve
@@ -165,6 +179,12 @@ func (m *Machine) finishRun() Result {
 		m.res.AvgPower = units.Power(m.res.Energy, maxDone)
 	}
 	m.res.RAPLCounter = m.rapl.Counter()
+	if m.memo != nil {
+		// Drain memo-effectiveness counters into the process-wide totals.
+		// A batch-shared memo is flushed by every member; flush zeroes the
+		// locals so each event is counted once.
+		m.memo.flush()
+	}
 	return m.res
 }
 
@@ -209,7 +229,7 @@ func (m *Machine) fastForward() {
 		}
 		t := m.now
 		if remaining := float64(nextIdx) - c.pos; remaining > 0 {
-			rate := c.tr.IPC * float64(d.freq) / c.rate // instructions/second
+			rate := c.effRate(d.freq) // instructions/second
 			t = m.now + units.Second(remaining/rate)
 		}
 		// A domain event due at or before the arrival wins the tie-break
@@ -556,12 +576,14 @@ func (m *Machine) advanceTo(t units.Second) {
 		var v2, ve float64
 		if d.voltT1 <= m.now {
 			if !d.vcOK || d.vcGoal != d.voltGoal {
-				d.refreshVoltCache(m.voltExp)
+				m.refreshVoltCache(d)
 			}
 			v2 = d.vcV2 * fdt
 			ve = d.vcVe * fdt
+		} else if m.memo != nil {
+			v2, ve = m.memo.integrate(d, m.now, t)
 		} else {
-			v2, ve = d.voltPowIntegrals(m.now, t, m.voltExp)
+			v2, ve = d.voltPowIntegralsRef(m.now, t, m.voltExp)
 		}
 		// Hoisted per-domain factors. Only multiplications are factored
 		// out (left-associated exactly as the per-core expression was),
@@ -578,8 +600,7 @@ func (m *Machine) advanceTo(t units.Second) {
 			}
 			// Core progress for running cores.
 			if activity == 1.0 && !c.finished {
-				rate := c.tr.IPC * float64(d.freq) / c.rate
-				c.pos += rate * fdt
+				c.pos += c.effRate(d.freq) * fdt
 			}
 			energy += dyn * activity
 			energy += leak
@@ -598,25 +619,32 @@ func (m *Machine) advanceTo(t units.Second) {
 }
 
 // refreshVoltCache computes the constant-voltage integrands at voltGoal.
-// The expressions replicate, term by term, what voltPowIntegral would
-// evaluate over a single settled segment (va == vb == voltGoal): the
-// quadrature sum is formed the same way and divided before scaling by
-// dt, so the fast path is bit-identical to the slow path it bypasses.
-func (d *domain) refreshVoltCache(exp float64) {
+// The expressions replicate, term by term, what voltPowIntegralsRef
+// would evaluate over a single settled segment (va == vb == voltGoal):
+// the quadrature sum is formed the same way and divided before scaling
+// by dt, so the fast path is bit-identical to the slow path it bypasses.
+// With the ramp memo active the Pow evaluation routes through the
+// bits-keyed memo and the exponent-specialized kernel, both bit-equal
+// to math.Pow by construction.
+func (m *Machine) refreshVoltCache(d *domain) {
 	v := float64(d.voltGoal)
 	s := v * v
 	d.vcV2 = (s + s + s) / 3
-	if exp == 2 {
+	switch {
+	case m.voltExp == 2:
 		d.vcVe = d.vcV2
-	} else {
-		p := math.Pow(v, exp) //lint:allow hotpath cache refresh off the per-event path; runs once per settled voltage level
+	case m.memo != nil:
+		p := m.memo.pow(v)
+		d.vcVe = (p + 4*p + p) / 6
+	default:
+		p := math.Pow(v, m.voltExp) //lint:allow hotpath reference path with the ramp memo disabled; cache refresh runs once per settled voltage level, not per event
 		d.vcVe = (p + 4*p + p) / 6
 	}
 	d.vcGoal = d.voltGoal
 	d.vcOK = true
 }
 
-// voltPowIntegrals computes ∫V²dτ (leakage) and ∫Vᵉdτ (dynamic) over
+// voltPowIntegralsRef computes ∫V²dτ (leakage) and ∫Vᵉdτ (dynamic) over
 // [t0, t1] in one pass over the domain's piecewise-linear voltage
 // profile. The quadratic integral is exact; other exponents use
 // Simpson's rule per linear segment, which is accurate to ~10⁻⁸
@@ -627,7 +655,14 @@ func (d *domain) refreshVoltCache(exp float64) {
 // Consecutive advanceTo segments within a ramp share an endpoint, so
 // math.Pow at the segment start is served from the domain's chain cache
 // (pvV/pvP) — one Pow per segment is the previous segment's end.
-func (d *domain) voltPowIntegrals(t0, t1 units.Second, exp float64) (i2, ie float64) {
+//
+// This is the retained reference implementation, kept verbatim as the
+// differential oracle for rampMemo.integrate (the analogue of
+// nextEventLinear for the event queue): production machines take the
+// memoized path unless Config.NoRampMemo (suitsweep -rampmemo=false)
+// selects this one, and FuzzVoltPowIntegrals asserts the two are
+// bit-identical.
+func (d *domain) voltPowIntegralsRef(t0, t1 units.Second, exp float64) (i2, ie float64) {
 	// Split at the ramp boundaries. A fixed array keeps the hot loop
 	// allocation-free.
 	var points [4]units.Second
@@ -663,11 +698,11 @@ func (d *domain) voltPowIntegrals(t0, t1 units.Second, exp float64) (i2, ie floa
 		if d.pvOK && d.pvV == va {
 			pa = d.pvP
 		} else {
-			pa = math.Pow(va, exp) //lint:allow hotpath mid-ramp Simpson segments only; settled domains take the cached fast path
+			pa = math.Pow(va, exp) //lint:allow hotpath reference-path Simpson segment start; production uses rampMemo.integrate
 		}
 		vm := (va + vb) / 2
-		pmid := math.Pow(vm, exp) //lint:allow hotpath mid-ramp Simpson midpoint; unique per segment, nothing to cache
-		pb := math.Pow(vb, exp)   //lint:allow hotpath mid-ramp Simpson endpoint; memoized for the next segment's start
+		pmid := math.Pow(vm, exp) //lint:allow hotpath reference-path Simpson midpoint; production uses rampMemo.integrate
+		pb := math.Pow(vb, exp)   //lint:allow hotpath reference-path Simpson endpoint; production uses rampMemo.integrate
 		d.pvV, d.pvP, d.pvOK = vb, pb, true
 		ie += (pa + 4*pmid + pb) / 6 * seg
 	}
